@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table/figure from the reconstructed
+evaluation suite (see DESIGN.md), prints it, and writes it to
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can reference
+stable artifacts. The ``benchmark`` fixture times one representative
+unit of the experiment (a single protocol round, a single Monte-Carlo
+sweep, ...) via ``benchmark.pedantic`` so ``--benchmark-only`` stays
+fast.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    print(f"\n{text}\n")
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,92 @@
+"""Substrate microbenchmarks: how fast is the simulator itself?
+
+These are conventional timing benchmarks (multiple rounds, statistics)
+rather than experiment reproductions — they guard the kernel, the share
+algebra and the radio stack against performance regressions that would
+make the experiment suite impractical to run.
+"""
+
+import numpy as np
+
+from repro.core.field import DEFAULT_FIELD
+from repro.core.shares import generate_share_bundles, seed_for_node
+from repro.net.stack import NetworkStack
+from repro.sim.kernel import Simulator
+from repro.topology.deploy import uniform_deployment
+
+
+def test_perf_kernel_event_throughput(benchmark):
+    """Schedule-and-fire 10k chained events."""
+
+    def run():
+        sim = Simulator(seed=0)
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count
+
+    assert benchmark(run) == 10_000
+
+
+def test_perf_lagrange_recovery(benchmark):
+    """Recover a cluster sum from a 6-member share matrix."""
+    field = DEFAULT_FIELD
+    rng = np.random.default_rng(0)
+    members = {i: seed_for_node(i) for i in range(1, 7)}
+    bundles = {
+        origin: generate_share_bundles(field, origin, (origin * 100,), members, rng)
+        for origin in members
+    }
+    assembled = {}
+    for member, seed in members.items():
+        values = [bundles[o][member].values[0] for o in members]
+        assembled[seed] = (field.sum(values),)
+
+    def recover():
+        from repro.core.shares import recover_cluster_sums
+
+        return recover_cluster_sums(field, assembled)
+
+    result = benchmark(recover)
+    assert result == (sum(i * 100 for i in members),)
+
+
+def test_perf_share_generation(benchmark):
+    """Generate a 6-member, 3-component share bundle set."""
+    field = DEFAULT_FIELD
+    rng = np.random.default_rng(0)
+    members = {i: seed_for_node(i) for i in range(1, 7)}
+
+    def generate():
+        return generate_share_bundles(field, 1, (10, 20, 30), members, rng)
+
+    bundles = benchmark(generate)
+    assert len(bundles) == 6
+
+
+def test_perf_broadcast_storm(benchmark):
+    """Flood 200 broadcasts through a 60-node dense network."""
+    deployment = uniform_deployment(
+        60, field_size=200.0, radio_range=50.0, rng=np.random.default_rng(3)
+    )
+
+    def storm():
+        sim = Simulator(seed=1)
+        stack = NetworkStack(sim, deployment)
+        for index in range(200):
+            sender = index % 59 + 1
+            sim.schedule(
+                index * 0.01,
+                lambda s=sender: stack.broadcast(s, "x", {"v": 1}),
+            )
+        sim.run()
+        return stack.medium.stats.transmissions
+
+    assert benchmark(storm) == 200

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Density sweep: iCPDA vs TAG across network sizes.
+
+A compact version of the paper's headline evaluation: for each network
+size, run one TAG epoch and one iCPDA round on the same deployment and
+compare accuracy, participation, bytes on the air, and latency — the
+efficiency/robustness trade the scheme buys privacy and integrity with.
+
+Run:  python examples/density_sweep.py          (sizes 200/300/400)
+      python examples/density_sweep.py 200 600  (custom sizes)
+"""
+
+import sys
+
+from repro.experiments.common import run_icpda_round, run_tag_round_on
+from repro.metrics.report import render_table
+
+
+def main() -> None:
+    sizes = [int(arg) for arg in sys.argv[1:]] or [200, 300, 400]
+    rows = []
+    for size in sizes:
+        tag, tag_stack = run_tag_round_on(size, seed=size)
+        icpda, protocol = run_icpda_round(size, seed=size)
+        rows.append(
+            {
+                "nodes": size,
+                "tag_acc": round(tag.accuracy, 3),
+                "icpda_acc": round(icpda.accuracy, 3)
+                if icpda.verdict.accepted
+                else None,
+                "icpda_part": round(icpda.participation, 3),
+                "tag_kB": round(tag_stack.counters.total_bytes / 1000, 1),
+                "icpda_kB": round(protocol.total_bytes() / 1000, 1),
+                "overhead_x": round(
+                    protocol.total_bytes() / tag_stack.counters.total_bytes, 1
+                ),
+                "verdict": icpda.verdict.value,
+            }
+        )
+    print(render_table(rows, title="iCPDA vs TAG across network sizes"))
+    print(
+        "\nReading: iCPDA tracks TAG's accuracy within a few percent in "
+        "dense networks\nwhile paying a constant-factor byte overhead — "
+        "the price of privacy + integrity."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Advanced-metering scenario: the paper's motivating application.
+
+A utility reads 300 household meters through in-network aggregation.
+Privacy matters (load curves reveal occupancy and behaviour) and
+integrity matters (a tampering aggregator could shift billing totals).
+This example runs three billing periods and demonstrates:
+
+1. the utility obtains accurate neighborhood totals and the AVERAGE /
+   VARIANCE statistics for capacity planning,
+2. no meter's individual draw is ever observable on the wire,
+3. a meter-level eavesdropper with 5% link coverage learns (almost)
+   nothing.
+
+Run:  python examples/smart_metering.py
+"""
+
+import numpy as np
+
+from repro import IcpdaConfig, IcpdaProtocol, uniform_deployment
+from repro.attacks.eavesdrop import EavesdropAnalysis
+from repro.crypto.adversary_keys import LinkBreakModel
+
+SEED = 7
+NUM_METERS = 300
+
+
+def diurnal_load(rng: np.random.Generator, hour: int, n: int) -> dict:
+    """Household watts: log-normal base modulated by time of day."""
+    modulation = {6: 0.7, 12: 1.0, 19: 1.6}[hour]
+    return {
+        i: float(rng.lognormal(mean=6.0, sigma=0.45) * modulation)
+        for i in range(1, n)
+    }
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    deployment = uniform_deployment(NUM_METERS, rng=rng)
+    config = IcpdaConfig(aggregate_name="variance")  # carries count+sum+sq
+    protocol = IcpdaProtocol(deployment, config, seed=SEED)
+    protocol.setup()
+
+    print(f"{NUM_METERS - 1} advanced meters + 1 concentrator (base station)")
+    print(f"{'hour':>4}  {'verdict':>9}  {'true kW':>9}  {'metered kW':>10} "
+          f"{'avg W':>8}  {'stddev W':>8}")
+
+    for round_id, hour in enumerate((6, 12, 19)):
+        readings = diurnal_load(rng, hour, NUM_METERS)
+        result = protocol.run_round(readings, round_id=round_id)
+        if not result.verdict.accepted:
+            print(f"{hour:>4}  {result.verdict.value:>9}  -- rejected --")
+            continue
+        count, total, _ = result.raw_totals
+        scale = config.fixed_point_scale
+        collected_kw = total / scale / 1000.0
+        true_kw = sum(readings.values()) / 1000.0
+        average_w = total / scale / count
+        stddev_w = result.value ** 0.5
+        print(f"{hour:>4}  {result.verdict.value:>9}  {true_kw:9.1f}  "
+              f"{collected_kw:10.1f} {average_w:8.1f}  {stddev_w:8.1f}")
+
+    # Privacy audit of the last round: a 5%-coverage wiretapper.
+    exchange = protocol.last_exchange
+    audit_rng = np.random.default_rng(SEED + 1)
+    analysis = EavesdropAnalysis(exchange, LinkBreakModel(0.05, rng=audit_rng))
+    stats, _ = analysis.run()
+    print(f"\nEavesdropper audit (p_x = 0.05): "
+          f"{stats.disclosed}/{stats.exposed} meter readings "
+          f"reconstructible (P = {stats.probability:.4f})")
+    assert stats.probability < 0.05
+    print("OK: household-level consumption stays private while the "
+          "utility still bills and plans on exact aggregates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""In-network aggregation: function algebra and the TAG baseline.
+
+* :mod:`repro.aggregation.functions` — additive encodings of SUM, COUNT,
+  AVERAGE, VARIANCE/STD, and power-mean approximations of MIN/MAX. All of
+  them reduce to elementwise integer addition, which is the property both
+  TAG and the iCPDA privacy algebra rely on.
+* :mod:`repro.aggregation.tree` — distributed HELLO-flood construction of
+  the aggregation tree, run on the simulated radio stack.
+* :mod:`repro.aggregation.epoch` — TAG's depth-staggered epoch schedule.
+* :mod:`repro.aggregation.tag` — the TAG protocol itself: the paper's
+  no-privacy / no-integrity baseline.
+"""
+
+from repro.aggregation.epoch import EpochSchedule
+from repro.aggregation.functions import (
+    AdditiveAggregate,
+    AverageAggregate,
+    CompositeAggregate,
+    CountAggregate,
+    FixedPointCodec,
+    MaxApproxAggregate,
+    MinApproxAggregate,
+    SumAggregate,
+    VarianceAggregate,
+    make_aggregate,
+)
+from repro.aggregation.slicing import SlicingAggregation, SlicingResult
+from repro.aggregation.tag import TagProtocol, TagResult
+from repro.aggregation.tree import TreeBuildResult, build_aggregation_tree
+
+__all__ = [
+    "AdditiveAggregate",
+    "SumAggregate",
+    "CountAggregate",
+    "AverageAggregate",
+    "VarianceAggregate",
+    "MinApproxAggregate",
+    "MaxApproxAggregate",
+    "CompositeAggregate",
+    "FixedPointCodec",
+    "make_aggregate",
+    "build_aggregation_tree",
+    "TreeBuildResult",
+    "EpochSchedule",
+    "TagProtocol",
+    "TagResult",
+    "SlicingAggregation",
+    "SlicingResult",
+]

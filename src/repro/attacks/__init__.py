@@ -1,0 +1,29 @@
+"""Adversary models and attack harnesses.
+
+* :mod:`repro.attacks.pollution` — data-pollution attackers implementing
+  the protocol's :class:`~repro.core.integrity.AttackPlan` hooks:
+  tampering with own reports, tampering in transit, silent drops, alarm
+  suppression; several consistency strategies that each target a
+  different witness check.
+* :mod:`repro.attacks.eavesdrop` — the link-eavesdropping adversary: a
+  Monte-Carlo evaluation of which readings are reconstructible from a
+  round's share traffic under a per-link break probability ``p_x``.
+* :mod:`repro.attacks.collusion` — compromised cluster members pooling
+  their keys and shares with the eavesdropper.
+* :mod:`repro.attacks.scenario` — convenience drivers that run attacked
+  and clean rounds side by side for the detection experiments.
+"""
+
+from repro.attacks.collusion import CollusionAnalysis
+from repro.attacks.eavesdrop import EavesdropAnalysis
+from repro.attacks.pollution import PollutionAttack, TamperStrategy
+from repro.attacks.scenario import AttackScenario, run_detection_trials
+
+__all__ = [
+    "PollutionAttack",
+    "TamperStrategy",
+    "EavesdropAnalysis",
+    "CollusionAnalysis",
+    "AttackScenario",
+    "run_detection_trials",
+]

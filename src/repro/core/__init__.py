@@ -1,0 +1,47 @@
+"""The paper's contribution: cluster-based integrity-enforcing,
+privacy-preserving data aggregation (iCPDA).
+
+Layers, bottom-up:
+
+* :mod:`repro.core.field` — exact arithmetic in a prime field ``GF(q)``
+  and Lagrange recovery of a share polynomial's constant term.
+* :mod:`repro.core.shares` — CPDA polynomial share generation: a private
+  reading is split into ``m`` shares such that any ``m-1`` reveal nothing.
+* :mod:`repro.core.clustering` — randomized distributed cluster formation
+  (self-election with probability ``p_c``, join, size bounds, census).
+* :mod:`repro.core.intracluster` — the in-cluster share exchange and
+  cluster-sum recovery protocol with ARQ.
+* :mod:`repro.core.integrity` — peer monitoring: witnesses overhear the
+  head's itemized report and raise alarms; the base station renders a
+  verdict under the loss-tolerance threshold ``Th``.
+* :mod:`repro.core.localization` — O(log N)-round isolation of a
+  polluting cluster by subset re-aggregation.
+* :mod:`repro.core.protocol` — the full four-phase orchestrator.
+"""
+
+from repro.core.clustering import Cluster, ClusteringResult
+from repro.core.config import IcpdaConfig
+from repro.core.field import DEFAULT_FIELD, PrimeField
+from repro.core.localization import LocalizationResult, localize_polluter
+from repro.core.operator import AggregationService, CollectOutcome
+from repro.core.protocol import IcpdaProtocol
+from repro.core.results import AlarmRecord, RoundResult, Verdict
+from repro.core.shares import ShareBundle, generate_share_bundles
+
+__all__ = [
+    "PrimeField",
+    "DEFAULT_FIELD",
+    "ShareBundle",
+    "generate_share_bundles",
+    "Cluster",
+    "ClusteringResult",
+    "IcpdaConfig",
+    "IcpdaProtocol",
+    "RoundResult",
+    "AlarmRecord",
+    "Verdict",
+    "LocalizationResult",
+    "localize_polluter",
+    "AggregationService",
+    "CollectOutcome",
+]

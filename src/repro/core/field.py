@@ -1,0 +1,225 @@
+"""Exact arithmetic in a prime field, and constant-term recovery.
+
+The CPDA privacy mechanism is Shamir-style additive masking: node ``i``
+hides its reading ``v_i`` inside a random polynomial
+
+    ``f_i(x) = v_i + r_{i,1} x + ... + r_{i,m-1} x^{m-1}``
+
+evaluated at the cluster members' public seeds. The cluster sum is the
+constant term of ``Σ_i f_i``, recovered by Lagrange interpolation at 0.
+Doing this over ``GF(q)`` (q = 2^61 - 1, a Mersenne prime) keeps every
+step exact, so aggregation error in the experiments is attributable to
+the *network*, never to numerics.
+
+Readings may be negative (e.g. Celsius temperatures); encoding uses the
+centered lift: integers in ``(-q/2, q/2)`` map to ``[0, q)`` and back.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import FieldArithmeticError
+
+#: 2^61 - 1, a Mersenne prime: plenty of headroom for sums of ~1e6
+#: fixed-point readings while staying in fast machine-int territory.
+MERSENNE_61 = (1 << 61) - 1
+
+
+def _is_probable_prime(n: int) -> bool:
+    """Deterministic Miller–Rabin for 64-bit inputs."""
+    if n < 2:
+        return False
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % p == 0:
+            return n == p
+    d, s = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(s - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+class PrimeField:
+    """Arithmetic modulo a prime ``q``.
+
+    All operations take and return canonical representatives in
+    ``[0, q)``. Construction validates primality (cheap and prevents an
+    entire class of silent corruption).
+    """
+
+    def __init__(self, modulus: int = MERSENNE_61) -> None:
+        if modulus < 3:
+            raise FieldArithmeticError(f"modulus must be >= 3, got {modulus}")
+        if not _is_probable_prime(modulus):
+            raise FieldArithmeticError(f"modulus {modulus} is not prime")
+        self.q = modulus
+
+    # -- canonical ops -------------------------------------------------------
+
+    def element(self, value: int) -> int:
+        """Reduce an arbitrary integer into ``[0, q)``."""
+        return value % self.q
+
+    def add(self, a: int, b: int) -> int:
+        """``a + b`` in the field."""
+        return (a + b) % self.q
+
+    def sub(self, a: int, b: int) -> int:
+        """``a - b`` in the field."""
+        return (a - b) % self.q
+
+    def neg(self, a: int) -> int:
+        """``-a`` in the field."""
+        return (-a) % self.q
+
+    def mul(self, a: int, b: int) -> int:
+        """``a * b`` in the field."""
+        return (a * b) % self.q
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse via Fermat.
+
+        Raises
+        ------
+        FieldArithmeticError
+            For ``a ≡ 0``.
+        """
+        a %= self.q
+        if a == 0:
+            raise FieldArithmeticError("zero has no multiplicative inverse")
+        return pow(a, self.q - 2, self.q)
+
+    def power(self, a: int, k: int) -> int:
+        """``a ** k`` in the field (k >= 0)."""
+        if k < 0:
+            raise FieldArithmeticError(f"negative exponent {k}; use inv() first")
+        return pow(a % self.q, k, self.q)
+
+    def sum(self, values: Iterable[int]) -> int:
+        """Field sum of an iterable."""
+        total = 0
+        for value in values:
+            total += value
+        return total % self.q
+
+    # -- signed encoding -----------------------------------------------------
+
+    def encode_signed(self, value: int) -> int:
+        """Centered lift of a (possibly negative) integer into the field.
+
+        Raises
+        ------
+        FieldArithmeticError
+            If ``|value|`` exceeds the representable half-range.
+        """
+        if abs(value) >= self.q // 2:
+            raise FieldArithmeticError(
+                f"value {value} outside centered range of GF({self.q})"
+            )
+        return value % self.q
+
+    def decode_signed(self, element: int) -> int:
+        """Inverse of :meth:`encode_signed`."""
+        element %= self.q
+        if element > self.q // 2:
+            return element - self.q
+        return element
+
+    # -- polynomial machinery -------------------------------------------------
+
+    def eval_poly(self, coefficients: Sequence[int], x: int) -> int:
+        """Evaluate ``Σ c_k x^k`` (Horner) in the field.
+
+        ``coefficients[0]`` is the constant term.
+        """
+        result = 0
+        for coefficient in reversed(coefficients):
+            result = (result * x + coefficient) % self.q
+        return result
+
+    def lagrange_constant_term(self, points: Sequence[Tuple[int, int]]) -> int:
+        """Constant term of the unique degree-``len(points)-1`` polynomial
+        through ``points`` — i.e. its value at 0.
+
+        This is the cluster-sum recovery step: members publish
+        ``F(x_j) = Σ_i f_i(x_j)``; interpolating at zero yields
+        ``Σ_i v_i``.
+
+        Raises
+        ------
+        FieldArithmeticError
+            On duplicate or zero evaluation points (zero seeds would leak
+            constant terms directly and are forbidden by the protocol).
+        """
+        if not points:
+            raise FieldArithmeticError("need at least one interpolation point")
+        xs = [x % self.q for x, _ in points]
+        if len(set(xs)) != len(xs):
+            raise FieldArithmeticError(f"duplicate evaluation points in {xs}")
+        if any(x == 0 for x in xs):
+            raise FieldArithmeticError("seed 0 is forbidden (leaks constant term)")
+        total = 0
+        for j, (xj, yj) in enumerate(points):
+            xj %= self.q
+            numerator, denominator = 1, 1
+            for k, (xk, _) in enumerate(points):
+                if k == j:
+                    continue
+                xk %= self.q
+                numerator = numerator * xk % self.q
+                denominator = denominator * ((xk - xj) % self.q) % self.q
+            term = yj % self.q * numerator % self.q * self.inv(denominator) % self.q
+            total = (total + term) % self.q
+        return total
+
+    def solve_vandermonde(self, points: Sequence[Tuple[int, int]]) -> List[int]:
+        """Full coefficient vector of the interpolating polynomial
+        (Newton's divided differences, then expansion). Used by tests and
+        by the adversary model; protocols only need the constant term."""
+        if not points:
+            raise FieldArithmeticError("need at least one interpolation point")
+        xs = [x % self.q for x, _ in points]
+        ys = [y % self.q for _, y in points]
+        if len(set(xs)) != len(xs):
+            raise FieldArithmeticError(f"duplicate evaluation points in {xs}")
+        n = len(points)
+        # Divided-difference table.
+        table = list(ys)
+        for level in range(1, n):
+            for i in range(n - 1, level - 1, -1):
+                numerator = (table[i] - table[i - 1]) % self.q
+                denominator = (xs[i] - xs[i - level]) % self.q
+                table[i] = numerator * self.inv(denominator) % self.q
+        # Expand Newton form into monomial coefficients.
+        coefficients = [0] * n
+        basis = [1] + [0] * (n - 1)  # running product Π (x - x_i)
+        for i in range(n):
+            for k in range(n):
+                coefficients[k] = (coefficients[k] + table[i] * basis[k]) % self.q
+            if i < n - 1:
+                # basis *= (x - xs[i])
+                new_basis = [0] * n
+                for k in range(n - 1):
+                    new_basis[k + 1] = (new_basis[k + 1] + basis[k]) % self.q
+                for k in range(n):
+                    new_basis[k] = (new_basis[k] - basis[k] * xs[i]) % self.q
+                basis = new_basis
+        return coefficients
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PrimeField(q={self.q})"
+
+
+#: Shared default field instance used across the protocol stack.
+DEFAULT_FIELD = PrimeField(MERSENNE_61)

@@ -1,0 +1,558 @@
+"""Intra-cluster privacy-preserving aggregation (Phase III of iCPDA).
+
+Within each active cluster of ``m`` members every member:
+
+1. splits its additive components into ``m`` polynomial shares
+   (:mod:`repro.core.shares`) and delivers one **encrypted** share to each
+   other member — directly when in radio range, otherwise relayed through
+   the head (the relay cannot read the ciphertext); ARQ (ack + bounded
+   retransmit) makes the local exchange robust to collisions;
+2. once it holds shares from *all* members, assembles
+   ``F(x_j) = Σ_i f_i(x_j)`` and broadcasts it (the head acknowledges;
+   unacked F-values are rebroadcast) — F-values are public by design,
+   they reveal only blinded sums;
+3. the head — and every member that overheard all ``m`` F-values —
+   recovers the cluster aggregate by Lagrange interpolation at zero.
+
+Step 3 is the hinge of the whole design: because *every* member can
+recover the cluster sum, every member is a competent witness for the
+integrity phase. A cluster that cannot complete the exchange (lost
+member list, exhausted retries, unsecurable link) aborts the round and
+its readings count as loss — never as a privacy leak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.aggregation.functions import AdditiveAggregate
+from repro.core.clustering import ClusteringResult
+from repro.core.config import IcpdaConfig
+from repro.core.field import PrimeField
+from repro.core.shares import (
+    ShareBundle,
+    generate_share_bundles,
+    recover_cluster_sums,
+    seed_for_node,
+    sum_share_values,
+)
+from repro.crypto.linksec import Ciphertext, LinkSecurity
+from repro.errors import NoSharedKeyError
+from repro.net.packet import Packet
+from repro.net.stack import NetworkStack
+
+SHARE_KIND = "share"
+SHARE_RELAY_KIND = "share_relay"
+SHARE_ACK_KIND = "share_ack"
+FVALUE_KIND = "fvalue"
+FVALUE_ACK_KIND = "fvalue_ack"
+FSET_KIND = "fset"
+
+
+@dataclass(frozen=True)
+class ShareTransmission:
+    """Log entry for one share delivery (consumed by the eavesdropping
+    analysis: which physical links carried whose share).
+
+    Attributes
+    ----------
+    origin / recipient:
+        Whose polynomial, evaluated at whose seed.
+    links:
+        The physical (sender, receiver) hops the ciphertext crossed —
+        one hop direct, two when relayed through the head.
+    """
+
+    origin: int
+    recipient: int
+    links: Tuple[Tuple[int, int], ...]
+
+
+@dataclass
+class ClusterExchangeState:
+    """Mutable per-cluster progress during the exchange."""
+
+    head: int
+    participants: List[int]
+    contributors: int
+    completed: bool = False
+    cluster_sums: Optional[Tuple[int, ...]] = None
+    fvalues_at_head: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    aborted_reason: str = ""
+
+
+@dataclass
+class ExchangeResult:
+    """Outcome of the exchange phase across all clusters.
+
+    Attributes
+    ----------
+    states:
+        head id -> per-cluster state (sums, completion).
+    witness_sums:
+        node id -> the cluster aggregate that member independently
+        recovered (from overheard F-values, completed by the head's
+        F-set rebroadcast).
+    share_log:
+        Every share delivery, for the privacy analysis.
+    fset_conflicts:
+        ``(member, head)`` pairs where the head's published F-set
+        contradicts an F-value the member knows first-hand — hard
+        evidence of tampering, turned into alarms by the report phase.
+    """
+
+    states: Dict[int, ClusterExchangeState] = field(default_factory=dict)
+    witness_sums: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    share_log: List[ShareTransmission] = field(default_factory=list)
+    fset_conflicts: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def completed_clusters(self) -> List[int]:
+        """Heads whose clusters recovered their aggregate."""
+        return sorted(h for h, s in self.states.items() if s.completed)
+
+    def total_contributors(self) -> int:
+        """Sensor readings captured by completed clusters."""
+        return sum(s.contributors for s in self.states.values() if s.completed)
+
+
+class IntraClusterExchange:
+    """One execution of the share-exchange phase over all clusters.
+
+    Parameters
+    ----------
+    stack:
+        The radio network.
+    clustering:
+        Output of :class:`repro.core.clustering.ClusterFormation`.
+    config:
+        Protocol tunables.
+    linksec:
+        Link encryption facade (pairwise or EG scheme).
+    aggregate:
+        The additive aggregate being computed.
+    readings:
+        sensor id -> raw reading. Nodes without a reading (the base
+        station) contribute identity components.
+    field_:
+        Prime field for the share algebra.
+    participating_heads:
+        When set, only these clusters run (localization subsets).
+    round_id:
+        RNG salt.
+    """
+
+    def __init__(
+        self,
+        stack: NetworkStack,
+        clustering: ClusteringResult,
+        config: IcpdaConfig,
+        linksec: LinkSecurity,
+        aggregate: AdditiveAggregate,
+        readings: Dict[int, float],
+        field_: PrimeField,
+        participating_heads: Optional[Set[int]] = None,
+        round_id: int = 0,
+    ) -> None:
+        self._stack = stack
+        self._clustering = clustering
+        self._config = config
+        self._linksec = linksec
+        self._aggregate = aggregate
+        self._readings = readings
+        self._field = field_
+        self._participating = participating_heads
+        self._rng = stack.sim.rng.stream(f"exchange.{round_id}")
+        self.result = ExchangeResult()
+
+        # Per-node exchange bookkeeping.
+        self._cluster_of: Dict[int, int] = {}
+        self._expected_origins: Dict[int, Set[int]] = {}
+        self._held_bundles: Dict[int, Dict[int, ShareBundle]] = {}
+        self._share_acked: Dict[Tuple[int, int], bool] = {}
+        self._fvalue_acked: Dict[int, bool] = {}
+        self._fvalue_sent: Set[int] = set()
+        self._witness_fvalues: Dict[int, Dict[int, Tuple[int, ...]]] = {}
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self) -> ExchangeResult:
+        """Run the exchange window to completion and compile results."""
+        sim = self._stack.sim
+        cfg = self._config
+        t0 = sim.now
+
+        for cluster in self._clustering.clusters.values():
+            if not cluster.active:
+                continue
+            if self._participating is not None and cluster.head not in self._participating:
+                continue
+            participants = sorted(cluster.informed_members)
+            if len(participants) < cfg.k_min or len(participants) < cluster.size:
+                # Someone missed the member list: the share matrix cannot
+                # complete, so the cluster aborts up front.
+                self.result.states[cluster.head] = ClusterExchangeState(
+                    head=cluster.head,
+                    participants=participants,
+                    contributors=0,
+                    aborted_reason="member_list_loss",
+                )
+                continue
+            if any(m in self._cluster_of for m in participants):
+                # Defense in depth: a member claimed by two clusters
+                # would cross-contaminate both share matrices. The
+                # formation layer prevents this; if it ever leaks
+                # through, abort rather than corrupt.
+                self.result.states[cluster.head] = ClusterExchangeState(
+                    head=cluster.head,
+                    participants=participants,
+                    contributors=0,
+                    aborted_reason="membership_conflict",
+                )
+                continue
+            contributors = sum(1 for m in participants if m in self._readings)
+            self.result.states[cluster.head] = ClusterExchangeState(
+                head=cluster.head,
+                participants=participants,
+                contributors=contributors,
+            )
+            for member in participants:
+                self._cluster_of[member] = cluster.head
+                self._expected_origins[member] = set(participants)
+                self._held_bundles[member] = {}
+                self._witness_fvalues[member] = {}
+
+        for node in self._stack.nodes:
+            self._stack.register_handler(node, SHARE_KIND, self._make_on_share(node))
+            self._stack.register_handler(
+                node, SHARE_RELAY_KIND, self._make_on_share_relay(node)
+            )
+            self._stack.register_handler(
+                node, SHARE_ACK_KIND, self._make_on_share_ack(node)
+            )
+            self._stack.register_handler(node, FVALUE_KIND, self._make_on_fvalue(node))
+            self._stack.register_handler(
+                node, FVALUE_ACK_KIND, self._make_on_fvalue_ack(node)
+            )
+            self._stack.register_handler(node, FSET_KIND, self._make_on_fset(node))
+            self._stack.register_overhear(node, self._make_overhear(node))
+
+        for state in self.result.states.values():
+            if state.aborted_reason:
+                continue
+            for member in state.participants:
+                delay = float(self._rng.uniform(0.1, cfg.window_exchange_s * 0.25))
+                sim.schedule(
+                    delay, self._make_share_sender(member, state), name="share-gen"
+                )
+
+        sim.run(until=t0 + cfg.window_exchange_s)
+        self._compile()
+        return self.result
+
+    # -- sending shares -----------------------------------------------------------
+
+    def _make_share_sender(self, member: int, state: ClusterExchangeState):
+        def send_shares() -> None:
+            seeds = {m: seed_for_node(m) for m in state.participants}
+            reading = self._readings.get(member)
+            components = (
+                self._aggregate.components(reading)
+                if reading is not None
+                else self._aggregate.identity()
+            )
+            bundles = generate_share_bundles(
+                self._field, member, components, seeds, self._rng
+            )
+            self._accept_bundle(member, bundles[member])
+            for recipient, bundle in bundles.items():
+                if recipient == member:
+                    continue
+                try:
+                    ciphertext = self._linksec.seal(member, recipient, list(bundle.values))
+                except NoSharedKeyError:
+                    state.aborted_reason = "no_shared_key"
+                    self._stack.sim.trace.emit(
+                        "exchange.abort",
+                        f"cluster {state.head}: no key {member}->{recipient}",
+                        head=state.head,
+                    )
+                    return
+                self._dispatch_share(member, recipient, state.head, ciphertext, 0)
+
+        return send_shares
+
+    def _dispatch_share(
+        self,
+        sender: int,
+        recipient: int,
+        head: int,
+        ciphertext: Ciphertext,
+        attempt: int,
+    ) -> None:
+        """Send one encrypted share, directly or relayed via the head,
+        and arm the ARQ timer."""
+        direct = recipient in self._stack.adjacency[sender]
+        payload = {"origin": sender, "dst": recipient, "ct": ciphertext}
+        if direct:
+            self._stack.send(sender, recipient, SHARE_KIND, payload)
+            links: Tuple[Tuple[int, int], ...] = ((sender, recipient),)
+        else:
+            self._stack.send(sender, head, SHARE_RELAY_KIND, payload)
+            links = ((sender, head), (head, recipient))
+        if attempt == 0:
+            self.result.share_log.append(
+                ShareTransmission(origin=sender, recipient=recipient, links=links)
+            )
+        key = (sender, recipient)
+        self._share_acked.setdefault(key, False)
+        if attempt < self._config.share_retries:
+            timeout = self._config.ack_timeout_s * (1.0 + 0.5 * attempt)
+            self._stack.sim.schedule(
+                timeout,
+                lambda: self._retry_share(sender, recipient, head, ciphertext, attempt),
+                name="share-arq",
+            )
+
+    def _retry_share(
+        self,
+        sender: int,
+        recipient: int,
+        head: int,
+        ciphertext: Ciphertext,
+        attempt: int,
+    ) -> None:
+        if self._share_acked.get((sender, recipient)):
+            return
+        self._dispatch_share(sender, recipient, head, ciphertext, attempt + 1)
+
+    # -- share reception ------------------------------------------------------------
+
+    def _make_on_share(self, node: int):
+        def on_share(packet: Packet) -> None:
+            if int(packet.payload["dst"]) != node:
+                return
+            origin = int(packet.payload["origin"])
+            ciphertext: Ciphertext = packet.payload["ct"]
+            if node not in self._expected_origins:
+                return
+            values = tuple(self._linksec.open(node, ciphertext))
+            bundle = ShareBundle(
+                origin=origin, eval_seed=seed_for_node(node), values=values
+            )
+            self._stack.send(
+                node, packet.src, SHARE_ACK_KIND, {"origin": origin, "dst": node}
+            )
+            self._accept_bundle(node, bundle)
+
+        return on_share
+
+    def _make_on_share_relay(self, node: int):
+        def on_share_relay(packet: Packet) -> None:
+            recipient = int(packet.payload["dst"])
+            # The head forwards ciphertext it cannot read.
+            self._stack.send(node, recipient, SHARE_KIND, dict(packet.payload))
+
+        return on_share_relay
+
+    def _make_on_share_ack(self, node: int):
+        def on_share_ack(packet: Packet) -> None:
+            origin = int(packet.payload["origin"])
+            recipient = int(packet.payload["dst"])
+            if origin == node:
+                self._share_acked[(origin, recipient)] = True
+            else:
+                # We relayed the share for `origin`; relay the ack back
+                # so it stops retransmitting.
+                self._stack.send(
+                    node, origin, SHARE_ACK_KIND, dict(packet.payload)
+                )
+
+        return on_share_ack
+
+    def _accept_bundle(self, node: int, bundle: ShareBundle) -> None:
+        held = self._held_bundles.get(node)
+        if held is None or bundle.origin in held:
+            return
+        held[bundle.origin] = bundle
+        if set(held) == self._expected_origins[node]:
+            self._assemble_and_publish(node)
+
+    # -- F-value publication -----------------------------------------------------------
+
+    def _assemble_and_publish(self, node: int) -> None:
+        if node in self._fvalue_sent:
+            return
+        self._fvalue_sent.add(node)
+        head = self._cluster_of[node]
+        bundles = list(self._held_bundles[node].values())
+        fvalue = sum_share_values(self._field, bundles)
+        self._witness_fvalues[node][seed_for_node(node)] = fvalue
+        self._maybe_recover_witness(node)
+        self._publish_fvalue(node, head, fvalue, 0)
+
+    def _publish_fvalue(
+        self, node: int, head: int, fvalue: Sequence[int], attempt: int
+    ) -> None:
+        payload = {
+            "cluster": head,
+            "seed": seed_for_node(node),
+            "member": node,
+            "f": list(fvalue),
+        }
+        self._stack.broadcast(node, FVALUE_KIND, payload)
+        if node == head:
+            self._store_fvalue_at_head(head, seed_for_node(node), tuple(fvalue))
+            # The head's own F-value needs no ack; rebroadcast once for
+            # the witnesses' benefit.
+            if attempt == 0:
+                self._stack.sim.schedule(
+                    self._config.ack_timeout_s,
+                    lambda: self._stack.broadcast(node, FVALUE_KIND, payload),
+                    name="fvalue-head-repeat",
+                )
+            return
+        if attempt < self._config.share_retries:
+            timeout = self._config.ack_timeout_s * (1.0 + 0.5 * attempt)
+            self._stack.sim.schedule(
+                timeout,
+                lambda: self._retry_fvalue(node, head, fvalue, attempt),
+                name="fvalue-arq",
+            )
+
+    def _retry_fvalue(
+        self, node: int, head: int, fvalue: Sequence[int], attempt: int
+    ) -> None:
+        if self._fvalue_acked.get(node):
+            return
+        self._publish_fvalue(node, head, fvalue, attempt + 1)
+
+    def _make_on_fvalue(self, node: int):
+        def on_fvalue(packet: Packet) -> None:
+            head = int(packet.payload["cluster"])
+            if node != head:
+                return
+            member = int(packet.payload["member"])
+            seed = int(packet.payload["seed"])
+            fvalue = tuple(int(v) for v in packet.payload["f"])
+            self._stack.send(node, member, FVALUE_ACK_KIND, {"member": member})
+            self._store_fvalue_at_head(head, seed, fvalue)
+
+        return on_fvalue
+
+    def _make_on_fvalue_ack(self, node: int):
+        def on_fvalue_ack(packet: Packet) -> None:
+            if int(packet.payload["member"]) == node:
+                self._fvalue_acked[node] = True
+
+        return on_fvalue_ack
+
+    def _store_fvalue_at_head(
+        self, head: int, seed: int, fvalue: Tuple[int, ...]
+    ) -> None:
+        state = self.result.states.get(head)
+        if state is None or state.aborted_reason:
+            return
+        state.fvalues_at_head[seed] = fvalue
+        expected = {seed_for_node(m) for m in state.participants}
+        if set(state.fvalues_at_head) == expected and not state.completed:
+            state.cluster_sums = recover_cluster_sums(
+                self._field, state.fvalues_at_head
+            )
+            state.completed = True
+            self._stack.sim.trace.emit(
+                "exchange.complete",
+                f"cluster {head} recovered its aggregate",
+                head=head,
+                contributors=state.contributors,
+            )
+            if self._config.integrity_mode == "none":
+                return  # no witnesses to equip in privacy-only mode
+            # Publish the complete F-set (twice) so every member can
+            # recover the cluster sum and serve as a witness. Members
+            # verify entries they know first-hand, which makes a
+            # tampered F-set self-incriminating.
+            payload = {
+                "cluster": head,
+                "seeds": sorted(state.fvalues_at_head),
+                "fs": [
+                    list(state.fvalues_at_head[s])
+                    for s in sorted(state.fvalues_at_head)
+                ],
+            }
+            self._stack.broadcast(head, FSET_KIND, payload)
+            self._stack.sim.schedule(
+                0.3 + float(self._rng.uniform(0.0, 0.3)),
+                lambda: self._stack.broadcast(head, FSET_KIND, payload),
+                name="fset-repeat",
+            )
+
+    def _make_on_fset(self, node: int):
+        def on_fset(packet: Packet) -> None:
+            head = int(packet.payload["cluster"])
+            if self._cluster_of.get(node) != head or node == head:
+                return
+            seeds = [int(s) for s in packet.payload["seeds"]]
+            fs = [tuple(int(v) for v in f) for f in packet.payload["fs"]]
+            known = self._witness_fvalues[node]
+            conflict = False
+            for seed, fvalue in zip(seeds, fs):
+                mine = known.get(seed)
+                if mine is not None and mine != fvalue:
+                    conflict = True
+                    self.result.fset_conflicts.append((node, head))
+                    self._stack.sim.trace.emit(
+                        "exchange.fset_conflict",
+                        f"member {node}: head {head} published a wrong F({seed})",
+                        member=node,
+                        head=head,
+                        seed=seed,
+                    )
+                    break
+            if conflict:
+                return
+            for seed, fvalue in zip(seeds, fs):
+                known.setdefault(seed, fvalue)
+            self._maybe_recover_witness(node)
+
+        return on_fset
+
+    # -- witness overhearing -----------------------------------------------------------
+
+    def _make_overhear(self, node: int):
+        def overhear(packet: Packet) -> None:
+            if packet.kind != FVALUE_KIND:
+                return
+            my_head = self._cluster_of.get(node)
+            if my_head is None or int(packet.payload["cluster"]) != my_head:
+                return
+            seed = int(packet.payload["seed"])
+            self._witness_fvalues[node][seed] = tuple(
+                int(v) for v in packet.payload["f"]
+            )
+            self._maybe_recover_witness(node)
+
+        return overhear
+
+    def _maybe_recover_witness(self, node: int) -> None:
+        head = self._cluster_of.get(node)
+        if head is None or node in self.result.witness_sums:
+            return
+        state = self.result.states.get(head)
+        if state is None:
+            return
+        expected = {seed_for_node(m) for m in state.participants}
+        known = self._witness_fvalues[node]
+        if set(known) >= expected:
+            sums = recover_cluster_sums(
+                self._field, {s: known[s] for s in expected}
+            )
+            self.result.witness_sums[node] = sums
+
+    # -- compile -----------------------------------------------------------
+
+    def _compile(self) -> None:
+        for state in self.result.states.values():
+            if not state.completed and not state.aborted_reason:
+                state.aborted_reason = "exchange_timeout"

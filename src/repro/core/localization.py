@@ -1,0 +1,121 @@
+"""Attacker localization by subset re-aggregation.
+
+When a round is rejected, a persistent polluter could mount a DoS by
+tainting every subsequent round. The paper's counter-measure: the base
+station re-runs aggregation over *subsets* of the network, halving the
+candidate set on each probe, isolating the malicious cluster in
+``O(log N)`` rounds (then excluding it).
+
+The search is mechanism-agnostic: it takes a probe callable that runs a
+restricted round and reports whether pollution was detected. With a
+single non-colluding attacker (the paper's model) binary search is exact;
+the implementation also tolerates a *noisy* probe by optionally repeating
+probes and majority-voting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.errors import ProtocolError
+
+#: A probe runs a round restricted to the given cluster heads and
+#: returns True if pollution was detected.
+ProbeFn = Callable[[Tuple[int, ...]], bool]
+
+
+@dataclass(frozen=True)
+class LocalizationResult:
+    """Outcome of the subset search.
+
+    Attributes
+    ----------
+    suspects:
+        Cluster heads the search narrowed down to (length 1 on success).
+    probes_used:
+        Restricted rounds executed.
+    converged:
+        True when a single suspect was isolated.
+    history:
+        Per-probe (candidate subset, detected) trail.
+    """
+
+    suspects: Tuple[int, ...]
+    probes_used: int
+    converged: bool
+    history: Tuple[Tuple[Tuple[int, ...], bool], ...]
+
+
+def localize_polluter(
+    probe: ProbeFn,
+    cluster_heads: Sequence[int],
+    *,
+    max_probes: int = 64,
+    votes_per_probe: int = 1,
+) -> LocalizationResult:
+    """Binary-search the polluting cluster.
+
+    Parameters
+    ----------
+    probe:
+        Runs one restricted round; True = pollution detected in subset.
+    cluster_heads:
+        Candidate clusters (typically every head of the rejected round).
+    max_probes:
+        Safety bound on probe count.
+    votes_per_probe:
+        Odd number of repetitions per subset, majority-voted, for noisy
+        detection channels.
+
+    Raises
+    ------
+    ProtocolError
+        On an empty candidate list or non-positive/even vote count.
+    """
+    if not cluster_heads:
+        raise ProtocolError("localization needs at least one candidate cluster")
+    if votes_per_probe < 1 or votes_per_probe % 2 == 0:
+        raise ProtocolError(
+            f"votes_per_probe must be a positive odd number, got {votes_per_probe}"
+        )
+
+    def vote(subset: Tuple[int, ...]) -> bool:
+        positive = sum(1 for _ in range(votes_per_probe) if probe(subset))
+        return positive * 2 > votes_per_probe
+
+    candidates: List[int] = sorted(cluster_heads)
+    history: List[Tuple[Tuple[int, ...], bool]] = []
+    probes = 0
+
+    while len(candidates) > 1 and probes < max_probes:
+        half = len(candidates) // 2
+        left = tuple(candidates[:half])
+        probes += votes_per_probe
+        detected_left = vote(left)
+        history.append((left, detected_left))
+        if detected_left:
+            candidates = list(left)
+        else:
+            candidates = candidates[half:]
+
+    converged = len(candidates) == 1
+    return LocalizationResult(
+        suspects=tuple(candidates),
+        probes_used=probes,
+        converged=converged,
+        history=tuple(history),
+    )
+
+
+def expected_probe_bound(num_clusters: int) -> int:
+    """The paper's O(log N) claim, concretely: ``ceil(log2 C)`` probes
+    suffice for ``C`` candidate clusters with a noiseless probe."""
+    if num_clusters < 1:
+        raise ProtocolError(f"num_clusters must be >= 1, got {num_clusters}")
+    bound = 0
+    remaining = num_clusters
+    while remaining > 1:
+        remaining = (remaining + 1) // 2
+        bound += 1
+    return bound

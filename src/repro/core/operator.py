@@ -1,0 +1,196 @@
+"""The base station's operational loop: collect, detect, localize,
+exclude, retry.
+
+:class:`AggregationService` is the layer a deployment operator actually
+runs. Each :meth:`~AggregationService.collect` call executes aggregation
+rounds until an accepted answer emerges:
+
+1. run a round; if accepted, return the value;
+2. if rejected, identify the polluter — directly from witness alarms
+   when available (they name the suspect), otherwise by the O(log C)
+   subset search over restricted rounds;
+3. bar the suspect from the aggregator role
+   (:attr:`IcpdaConfig.excluded_heads`) and re-run with a fresh
+   clustering.
+
+The service is deliberately conservative: it gives up after
+``max_rounds`` rather than loop on an undiagnosable network, surfacing
+the history for the operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import IcpdaConfig
+from repro.core.integrity import AttackPlan
+from repro.core.localization import localize_polluter
+from repro.core.protocol import IcpdaProtocol
+from repro.core.results import RoundResult, Verdict
+from repro.crypto.linksec import LinkSecurity
+from repro.errors import ProtocolError
+from repro.topology.deploy import Deployment
+
+
+@dataclass
+class CollectOutcome:
+    """The result of one :meth:`AggregationService.collect` call.
+
+    Attributes
+    ----------
+    accepted:
+        True if an accepted aggregate was obtained.
+    value:
+        The accepted aggregate (None when gave up).
+    rounds_used:
+        Protocol rounds executed, localization probes included.
+    excluded:
+        Nodes barred from the aggregator role during this call.
+    history:
+        Every :class:`RoundResult` in execution order.
+    """
+
+    accepted: bool
+    value: Optional[float]
+    rounds_used: int
+    excluded: Tuple[int, ...]
+    history: List[RoundResult] = field(default_factory=list)
+
+
+class AggregationService:
+    """Long-running aggregation operator over one deployment.
+
+    Parameters
+    ----------
+    deployment, config, seed:
+        As for :class:`~repro.core.protocol.IcpdaProtocol`. The config's
+        exclusion list grows as polluters are localized.
+    attack_plan / linksec:
+        Optional adversary and key-management settings, forwarded to
+        every protocol instance.
+    max_rounds:
+        Upper bound on full aggregation rounds per ``collect`` call
+        (localization probes count separately toward ``rounds_used``).
+    """
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        config: Optional[IcpdaConfig] = None,
+        seed: int = 0,
+        *,
+        attack_plan: Optional[AttackPlan] = None,
+        linksec: Optional[LinkSecurity] = None,
+        max_rounds: int = 4,
+    ) -> None:
+        if max_rounds < 1:
+            raise ProtocolError(f"max_rounds must be >= 1, got {max_rounds}")
+        self._deployment = deployment
+        self._config = config if config is not None else IcpdaConfig()
+        self._seed = seed
+        self._attack_plan = attack_plan
+        self._linksec = linksec
+        self._max_rounds = max_rounds
+        self._round_counter = 0
+        self.excluded: Tuple[int, ...] = tuple(self._config.excluded_heads)
+
+    # -- public API -------------------------------------------------------------
+
+    def collect(self, readings: Dict[int, float]) -> CollectOutcome:
+        """Obtain one trusted aggregate over ``readings``."""
+        history: List[RoundResult] = []
+        probes = 0
+        newly_excluded: List[int] = []
+
+        for attempt in range(self._max_rounds):
+            result, protocol = self._run_round(readings, self._next_round_id())
+            history.append(result)
+            if result.verdict is Verdict.ACCEPTED:
+                return CollectOutcome(
+                    accepted=True,
+                    value=result.value,
+                    rounds_used=len(history) + probes,
+                    excluded=tuple(newly_excluded),
+                    history=history,
+                )
+            if result.verdict is Verdict.INSUFFICIENT:
+                break  # the network cannot answer; retrying won't help
+
+            suspect = result.top_suspect()
+            if suspect is None:
+                suspect, used = self._localize(
+                    readings, protocol, history[-1]
+                )
+                probes += used
+            if suspect is None:
+                continue  # could not attribute; re-cluster and retry
+            newly_excluded.append(suspect)
+            self._config = self._config.with_excluded_heads((suspect,))
+            self.excluded = tuple(self._config.excluded_heads)
+
+        return CollectOutcome(
+            accepted=False,
+            value=None,
+            rounds_used=len(history) + probes,
+            excluded=tuple(newly_excluded),
+            history=history,
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _next_round_id(self) -> int:
+        self._round_counter += 1
+        return self._round_counter
+
+    def _run_round(
+        self, readings: Dict[int, float], round_id: int
+    ) -> Tuple[RoundResult, IcpdaProtocol]:
+        protocol = IcpdaProtocol(
+            self._deployment,
+            self._config,
+            seed=self._seed,
+            attack_plan=self._attack_plan,
+            linksec=self._linksec,
+        )
+        protocol.setup()
+        result = protocol.run_round(readings, round_id=round_id)
+        return result, protocol
+
+    def _localize(
+        self,
+        readings: Dict[int, float],
+        protocol: IcpdaProtocol,
+        rejected: RoundResult,
+    ) -> Tuple[Optional[int], int]:
+        """Subset-search the rejected round's clustering for the
+        polluter; returns (suspect head or None, probes used)."""
+        del rejected
+        exchange = protocol.last_exchange
+        if exchange is None:
+            return None, 0
+        candidates = [
+            head
+            for head in exchange.completed_clusters
+            if head != self._deployment.base_station
+        ]
+        if not candidates:
+            return None, 0
+        round_id = self._round_counter  # keep the same clustering
+
+        def probe(subset: Tuple[int, ...]) -> bool:
+            config = self._config.with_restriction(subset)
+            probe_protocol = IcpdaProtocol(
+                self._deployment,
+                config,
+                seed=self._seed,
+                attack_plan=self._attack_plan,
+                linksec=self._linksec,
+            )
+            probe_protocol.setup()
+            outcome = probe_protocol.run_round(readings, round_id=round_id)
+            return outcome.detected_pollution
+
+        search = localize_polluter(probe, candidates)
+        suspect = search.suspects[0] if search.converged else None
+        return suspect, search.probes_used

@@ -1,0 +1,241 @@
+"""The full iCPDA protocol orchestrator.
+
+Wires the four phases over one simulated network:
+
+* **Phase I** (once per deployment): HELLO-flood aggregation tree.
+* **Phase II** (per round): randomized cluster formation + census.
+* **Phase III** (per round): intra-cluster CPDA share exchange.
+* **Phase IV** (per round): witnessed report aggregation + verdict.
+
+Example
+-------
+>>> from repro.topology import uniform_deployment
+>>> from repro.core import IcpdaConfig, IcpdaProtocol
+>>> deployment = uniform_deployment(120, rng=np.random.default_rng(1))
+>>> protocol = IcpdaProtocol(deployment, IcpdaConfig(), seed=7)
+>>> protocol.setup()
+>>> readings = {i: 20.0 for i in range(1, 120)}
+>>> result = protocol.run_round(readings)
+>>> result.verdict.accepted
+True
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.aggregation.functions import (
+    AdditiveAggregate,
+    FixedPointCodec,
+    make_aggregate,
+)
+from repro.aggregation.tree import TreeBuildResult, build_aggregation_tree
+from repro.core.clustering import ClusterFormation, ClusteringResult
+from repro.core.config import IcpdaConfig
+from repro.core.field import DEFAULT_FIELD, PrimeField
+from repro.core.integrity import AttackPlan, ReportAndVerdictPhase
+from repro.core.intracluster import ExchangeResult, IntraClusterExchange
+from repro.core.results import RoundResult
+from repro.crypto.keys import PairwiseKeyScheme
+from repro.crypto.linksec import LinkSecurity
+from repro.errors import ProtocolError
+from repro.net.radio import RadioParams
+from repro.net.stack import NetworkStack
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceLog
+from repro.topology.deploy import Deployment
+
+
+class IcpdaProtocol:
+    """One iCPDA instance bound to a deployment.
+
+    Parameters
+    ----------
+    deployment:
+        The geometric network.
+    config:
+        Protocol tunables.
+    seed:
+        Master seed: together with ``deployment`` and ``config`` it fully
+        determines the run.
+    linksec:
+        Link-encryption facade; defaults to ideal pairwise keys.
+    attack_plan:
+        Optional pollution adversary hooks (see
+        :class:`repro.core.integrity.AttackPlan`).
+    field_:
+        Prime field for the share algebra.
+    radio:
+        Optional physical-layer override (e.g. an ``edge_fading``
+        channel); must match the deployment's radio range.
+    aggregate:
+        Optional pre-built aggregate instance overriding
+        ``config.aggregate_name`` — needed when the aggregate takes
+        constructor arguments the name cannot express (e.g.
+        ``MaxApproxAggregate(power=3)`` whose default power would
+        overflow the share field).
+    trace:
+        Enable structured tracing (costs memory; great in tests).
+    """
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        config: IcpdaConfig,
+        seed: int = 0,
+        *,
+        linksec: Optional[LinkSecurity] = None,
+        attack_plan: Optional[AttackPlan] = None,
+        field_: PrimeField = DEFAULT_FIELD,
+        radio: Optional["RadioParams"] = None,
+        aggregate: Optional[AdditiveAggregate] = None,
+        trace: bool = False,
+    ) -> None:
+        self.deployment = deployment
+        self.config = config
+        self.field = field_
+        self.sim = Simulator(seed=seed, trace=TraceLog(enabled=trace))
+        self.sim.trace.bind_clock(lambda: self.sim.now)
+        self.stack = NetworkStack(self.sim, deployment, radio=radio)
+        self.linksec = (
+            linksec if linksec is not None else LinkSecurity(PairwiseKeyScheme())
+        )
+        self.attack_plan = attack_plan
+        if aggregate is not None:
+            self.aggregate: AdditiveAggregate = aggregate
+        else:
+            codec = FixedPointCodec(scale=config.fixed_point_scale)
+            self.aggregate = make_aggregate(config.aggregate_name, codec)
+        self.tree: Optional[TreeBuildResult] = None
+        self.last_clustering: Optional[ClusteringResult] = None
+        self.last_exchange: Optional[ExchangeResult] = None
+        self.phase_bytes: Dict[str, int] = {}
+
+    # -- phase I -----------------------------------------------------------------
+
+    def setup(self) -> TreeBuildResult:
+        """Build the aggregation tree and disseminate the query
+        (Phase I). Idempotent."""
+        if self.tree is None:
+            before = self.stack.counters.total_bytes
+            self.tree = build_aggregation_tree(
+                self.stack, query=self.config.aggregate_name
+            )
+            self.phase_bytes["tree"] = self.stack.counters.total_bytes - before
+        return self.tree
+
+    def rebuild_tree(self) -> TreeBuildResult:
+        """Re-run Phase I on the current network state.
+
+        Long deployments need this: the aggregation tree is static, so
+        when relay nodes die (battery, failure injection) the routes
+        through them rot and participation collapses even though the
+        survivors could still reach the base station. A rebuild floods a
+        fresh HELLO — dead nodes stay silent, so the new tree routes
+        around them. Costs one flood (~2 messages/alive node).
+        """
+        before = self.stack.counters.total_bytes
+        self.tree = build_aggregation_tree(
+            self.stack, query=self.config.aggregate_name
+        )
+        self.phase_bytes["tree"] = (
+            self.phase_bytes.get("tree", 0)
+            + self.stack.counters.total_bytes
+            - before
+        )
+        return self.tree
+
+    # -- rounds -----------------------------------------------------------------
+
+    def run_round(self, readings: Dict[int, float], round_id: int = 0) -> RoundResult:
+        """Execute Phases II–IV for one set of sensor readings.
+
+        Parameters
+        ----------
+        readings:
+            sensor id -> raw reading. The base station must not appear.
+        round_id:
+            Distinguishes successive rounds (re-randomizes clustering).
+
+        Raises
+        ------
+        ProtocolError
+            If :meth:`setup` was not called, readings are empty, or the
+            base station holds a reading.
+        """
+        if self.tree is None:
+            raise ProtocolError("call setup() before run_round()")
+        if not readings:
+            raise ProtocolError("a round needs at least one reading")
+        if self.deployment.base_station in readings:
+            raise ProtocolError("the base station does not sense")
+
+        for node in self.stack.nodes.values():
+            node.clear_overhear()
+
+        counters = self.stack.counters
+
+        # Phase II: cluster formation.
+        before = counters.total_bytes
+        formation = ClusterFormation(self.stack, self.tree, self.config, round_id)
+        clustering = formation.run()
+        self.last_clustering = clustering
+        self.phase_bytes["clustering"] = counters.total_bytes - before
+
+        participating = self._participating_heads(clustering)
+
+        # Phase III: intra-cluster share exchange.
+        before = counters.total_bytes
+        exchange_phase = IntraClusterExchange(
+            self.stack,
+            clustering,
+            self.config,
+            self.linksec,
+            self.aggregate,
+            readings,
+            self.field,
+            participating_heads=participating,
+            round_id=round_id,
+        )
+        exchange = exchange_phase.run()
+        self.last_exchange = exchange
+        self.phase_bytes["exchange"] = counters.total_bytes - before
+
+        # Phase IV: witnessed report aggregation + verdict.
+        before = counters.total_bytes
+        report_phase = ReportAndVerdictPhase(
+            self.stack,
+            self.tree,
+            clustering,
+            exchange,
+            self.config,
+            self.aggregate,
+            attack_plan=self.attack_plan,
+            round_id=round_id,
+        )
+        true_value = self.aggregate.true_value(list(readings.values()))
+        result = report_phase.run(true_value, total_sensors=len(readings))
+        self.phase_bytes["report"] = counters.total_bytes - before
+        return result
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _participating_heads(
+        self, clustering: ClusteringResult
+    ) -> Optional[Set[int]]:
+        restrict = self.config.restrict_to_clusters
+        if restrict is None:
+            return None
+        participating = set(restrict)
+        participating.add(self.deployment.base_station)
+        return participating & set(clustering.clusters)
+
+    def total_bytes(self) -> int:
+        """All bytes transmitted on this network so far (all phases)."""
+        return self.stack.counters.total_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"IcpdaProtocol(nodes={self.deployment.num_nodes}, "
+            f"p_c={self.config.p_c}, k=[{self.config.k_min},{self.config.k_max}])"
+        )

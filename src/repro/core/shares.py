@@ -1,0 +1,183 @@
+"""CPDA polynomial share generation.
+
+A node with private component vector ``(c_1, ..., c_A)`` (one entry per
+additive aggregate component) in a cluster of ``m`` members draws, for
+each component, a uniformly random polynomial of degree ``m-1`` whose
+constant term is that component, and evaluates it at every member's
+public seed. The share sent to member ``j`` is the vector of evaluations
+at ``x_j``; the share at the node's own seed never leaves the node.
+
+Privacy property (proved in the tests by brute force on small fields):
+any ``m-1`` of the ``m`` evaluations of a degree-``m-1`` polynomial are
+jointly uniform — they carry zero information about the constant term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.field import PrimeField
+from repro.errors import ShareAlgebraError
+
+
+def seed_for_node(node_id: int) -> int:
+    """Public, distinct, non-zero field seed for a node: ``node_id + 1``.
+
+    Node ids are unique and non-negative, so seeds are unique and never
+    zero (a zero seed would expose constant terms directly).
+    """
+    if node_id < 0:
+        raise ShareAlgebraError(f"node ids must be >= 0, got {node_id}")
+    return node_id + 1
+
+
+@dataclass(frozen=True)
+class ShareBundle:
+    """The share one node sends to one cluster member.
+
+    Attributes
+    ----------
+    origin:
+        Node id whose private data the polynomial hides.
+    eval_seed:
+        The seed ``x_j`` this bundle is an evaluation at.
+    values:
+        One field element per aggregate component.
+    """
+
+    origin: int
+    eval_seed: int
+    values: Tuple[int, ...]
+
+    def wire_size(self) -> int:
+        """Bytes on the wire: 8 per field element plus 2 for the seed."""
+        return 8 * len(self.values) + 2
+
+
+def generate_share_bundles(
+    field: PrimeField,
+    origin: int,
+    components: Sequence[int],
+    member_seeds: Mapping[int, int],
+    rng: np.random.Generator,
+) -> Dict[int, ShareBundle]:
+    """Split ``components`` into per-member :class:`ShareBundle` objects.
+
+    Parameters
+    ----------
+    field:
+        The prime field to work in.
+    origin:
+        The sharing node's id (must appear in ``member_seeds``).
+    components:
+        The node's additive inputs (signed integers; fixed-point encoded
+        readings, counts, squares...).
+    member_seeds:
+        Cluster member id -> public seed, **including the origin**.
+    rng:
+        Random stream for the masking coefficients.
+
+    Returns
+    -------
+    dict
+        member id -> bundle, including the origin's own (kept local,
+        never transmitted).
+
+    Raises
+    ------
+    ShareAlgebraError
+        For clusters smaller than 2, duplicate seeds, or an origin
+        missing from the member map.
+    """
+    if origin not in member_seeds:
+        raise ShareAlgebraError(f"origin {origin} not in member seed map")
+    if len(member_seeds) < 2:
+        raise ShareAlgebraError(
+            f"share generation needs >= 2 members, got {len(member_seeds)}"
+        )
+    seeds = list(member_seeds.values())
+    if len(set(seeds)) != len(seeds):
+        raise ShareAlgebraError(f"duplicate seeds in member map: {seeds}")
+    if any(seed % field.q == 0 for seed in seeds):
+        raise ShareAlgebraError("seed congruent to 0 is forbidden")
+
+    degree = len(member_seeds) - 1
+    polynomials = []
+    for component in components:
+        constant = field.encode_signed(int(component))
+        mask = [int(rng.integers(0, field.q)) for _ in range(degree)]
+        polynomials.append([constant] + mask)
+
+    bundles: Dict[int, ShareBundle] = {}
+    for member, seed in member_seeds.items():
+        values = tuple(field.eval_poly(poly, seed) for poly in polynomials)
+        bundles[member] = ShareBundle(origin=origin, eval_seed=seed, values=values)
+    return bundles
+
+
+def sum_share_values(
+    field: PrimeField, bundles: Sequence[ShareBundle]
+) -> Tuple[int, ...]:
+    """Componentwise field sum of bundles that share an evaluation seed.
+
+    This is the assembly step performed by each member ``j``:
+    ``F(x_j) = Σ_i f_i(x_j)``.
+
+    Raises
+    ------
+    ShareAlgebraError
+        If bundles disagree on seed or arity, or the list is empty.
+    """
+    if not bundles:
+        raise ShareAlgebraError("cannot assemble zero bundles")
+    seed = bundles[0].eval_seed
+    arity = len(bundles[0].values)
+    for bundle in bundles:
+        if bundle.eval_seed != seed:
+            raise ShareAlgebraError(
+                f"mixed seeds in assembly: {bundle.eval_seed} != {seed}"
+            )
+        if len(bundle.values) != arity:
+            raise ShareAlgebraError(
+                f"mixed arity in assembly: {len(bundle.values)} != {arity}"
+            )
+    return tuple(
+        field.sum(bundle.values[k] for bundle in bundles) for k in range(arity)
+    )
+
+
+def recover_cluster_sums(
+    field: PrimeField,
+    assembled: Mapping[int, Sequence[int]],
+) -> Tuple[int, ...]:
+    """Recover the cluster's component sums from assembled F-values.
+
+    Parameters
+    ----------
+    assembled:
+        seed ``x_j`` -> ``F(x_j)`` component vector, for **all** m seeds.
+
+    Returns
+    -------
+    tuple
+        Signed component sums ``Σ_i c_i`` (decoded from the field).
+
+    Raises
+    ------
+    ShareAlgebraError
+        If arities disagree or the map is empty.
+    """
+    if not assembled:
+        raise ShareAlgebraError("cannot recover from zero F-values")
+    arities = {len(values) for values in assembled.values()}
+    if len(arities) != 1:
+        raise ShareAlgebraError(f"mixed arities in F-values: {arities}")
+    arity = arities.pop()
+    sums = []
+    for k in range(arity):
+        points = [(seed, values[k]) for seed, values in assembled.items()]
+        sums.append(field.decode_signed(field.lagrange_constant_term(points)))
+    return tuple(sums)

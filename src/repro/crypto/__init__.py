@@ -1,0 +1,30 @@
+"""Simulated key management and link-level encryption.
+
+The paper's privacy analysis abstracts cryptography to *who can read a
+given link*: an adversary breaks a link's encryption with probability
+``p_x`` (capturing key-predistribution overlap and node capture). This
+subpackage implements that abstraction honestly:
+
+* :mod:`repro.crypto.keys` — keys, key rings, pairwise key schemes;
+* :mod:`repro.crypto.predistribution` — Eschenauer–Gligor random key
+  predistribution with shared-key discovery and third-party exposure;
+* :mod:`repro.crypto.linksec` — :class:`Ciphertext` envelopes that can be
+  opened only by principals holding the key;
+* :mod:`repro.crypto.adversary_keys` — adversary key knowledge and the
+  per-link ``p_x`` break model used by the privacy experiments.
+"""
+
+from repro.crypto.adversary_keys import LinkBreakModel
+from repro.crypto.keys import Key, KeyRing, PairwiseKeyScheme
+from repro.crypto.linksec import Ciphertext, LinkSecurity
+from repro.crypto.predistribution import RandomPredistributionScheme
+
+__all__ = [
+    "Key",
+    "KeyRing",
+    "PairwiseKeyScheme",
+    "RandomPredistributionScheme",
+    "Ciphertext",
+    "LinkSecurity",
+    "LinkBreakModel",
+]

@@ -1,0 +1,38 @@
+"""Experiment implementations for the reproduced evaluation suite.
+
+One module per experiment id from DESIGN.md; each returns plain rows or
+:class:`~repro.metrics.report.Series` so the benchmark harness (and the
+examples) can print the same tables/series shape the paper reports.
+
+==========  ==========================================  =================
+Experiment  What it reproduces                          Module
+==========  ==========================================  =================
+T1          network size vs average degree              density
+F1          cluster coverage vs size (sim vs bound)     coverage
+F2          P_disclose vs p_x per cluster size          privacy
+F3          bytes vs size: TAG vs iCPDA                 overhead
+F4          accuracy vs size: TAG vs iCPDA              accuracy
+F5          |contributors - census| -> Th selection     threshold
+F6          detection/false-alarm vs attackers          detection
+F7          localization rounds vs cluster count        localization
+F8          epoch latency vs size                       latency
+A1          witness-fraction ablation                   ablation
+A2          cluster-size-bounds ablation                ablation
+==========  ==========================================  =================
+"""
+
+from repro.experiments.common import (
+    DEFAULT_SIZES,
+    build_icpda,
+    make_readings,
+    run_icpda_round,
+    run_tag_round_on,
+)
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "make_readings",
+    "build_icpda",
+    "run_icpda_round",
+    "run_tag_round_on",
+]

@@ -1,0 +1,74 @@
+"""Ablations A1 and A2: the design-choice sweeps DESIGN.md calls out.
+
+A1 — witness fraction: how many cluster members need to monitor the
+head for detection to hold, and what overhearing costs in energy.
+
+A2 — cluster-size bounds: the privacy / overhead / participation
+triangle as ``k_min = k_max = m`` grows. Larger clusters buy privacy
+exponentially (``p_x^{2(m-1)}``) and pay O(m²) share traffic; too-large
+``k_min`` also strands nodes in regions that cannot assemble a cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Sequence
+
+from repro.analysis.privacy import p_disclose_link
+from repro.attacks.pollution import TamperStrategy
+from repro.attacks.scenario import run_detection_trials
+from repro.core.config import IcpdaConfig
+from repro.experiments.common import fixed_cluster_config, run_icpda_round
+
+
+def run_witness_ablation(
+    fractions: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+    num_nodes: int = 300,
+    trials: int = 3,
+    base_seed: int = 0,
+) -> List[dict]:
+    """A1 rows: witness fraction -> detection ratio, false alarms."""
+    rows: List[dict] = []
+    for fraction in fractions:
+        cfg = IcpdaConfig(witness_fraction=fraction)
+        stats, _, _ = run_detection_trials(
+            num_nodes=num_nodes,
+            num_attackers=1,
+            strategy=TamperStrategy.CONSISTENT_OWN,
+            trials=trials,
+            config=cfg,
+            base_seed=base_seed,
+        )
+        rows.append(
+            {
+                "witness_fraction": fraction,
+                "detection_ratio": round(stats.detection_ratio, 3),
+                "false_alarm_ratio": round(stats.false_alarm_ratio, 3),
+            }
+        )
+    return rows
+
+
+def run_cluster_size_ablation(
+    cluster_sizes: Sequence[int] = (2, 3, 4, 5, 6),
+    num_nodes: int = 400,
+    p_x: float = 0.05,
+    base_seed: int = 0,
+) -> List[dict]:
+    """A2 rows: m -> participation, bytes per round, analytic
+    P_disclose at the reference ``p_x``."""
+    rows: List[dict] = []
+    for m in cluster_sizes:
+        cfg = fixed_cluster_config(m)
+        result, protocol = run_icpda_round(num_nodes, cfg, seed=base_seed + m)
+        rows.append(
+            {
+                "m": m,
+                "participation": round(result.participation, 4),
+                "verdict": result.verdict.value,
+                "total_bytes": protocol.total_bytes(),
+                "exchange_bytes": protocol.phase_bytes.get("exchange", 0),
+                "p_disclose_analytic": p_disclose_link(p_x, m),
+            }
+        )
+    return rows

@@ -1,0 +1,219 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run T1 [--out results/]
+    python -m repro.experiments run F4 --quick
+
+``--quick`` shrinks sweeps/trials to smoke-test scale; the default
+parameters match the benchmark harness. Results print as tables and,
+with ``--out``, persist as JSON artifacts (see
+:mod:`repro.experiments.io`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.experiments.io import save_rows
+from repro.metrics.report import render_table
+
+#: experiment id -> (description, full runner, quick runner)
+Runner = Callable[[], List[dict]]
+
+
+def _registry() -> Dict[str, Tuple[str, Runner, Runner]]:
+    from repro.experiments.ablation import (
+        run_cluster_size_ablation,
+        run_witness_ablation,
+    )
+    from repro.experiments.accuracy import run_accuracy_experiment
+    from repro.experiments.coverage import run_coverage_experiment
+    from repro.experiments.density import run_density_table
+    from repro.experiments.detection import (
+        run_collusion_boundary,
+        run_detection_experiment,
+    )
+    from repro.experiments.compare_schemes import run_scheme_comparison
+    from repro.experiments.election import run_election_ablation
+    from repro.experiments.fading import run_fading_experiment
+    from repro.experiments.integrity_cost import run_integrity_cost_experiment
+    from repro.experiments.keymgmt import run_eg_experiment
+    from repro.experiments.latency import run_latency_experiment
+    from repro.experiments.lifetime import run_lifetime_experiment
+    from repro.experiments.localization import run_localization_experiment
+    from repro.experiments.overhead import run_overhead_experiment
+    from repro.experiments.privacy import run_privacy_experiment
+    from repro.experiments.threshold import run_threshold_experiment
+
+    return {
+        "T1": (
+            "network size vs average degree",
+            lambda: run_density_table(),
+            lambda: run_density_table(sizes=(100, 200), trials=2),
+        ),
+        "F1": (
+            "cluster coverage vs network size",
+            lambda: run_coverage_experiment(),
+            lambda: run_coverage_experiment(sizes=(150,), trials=1),
+        ),
+        "F2": (
+            "privacy capacity vs p_x",
+            lambda: run_privacy_experiment(),
+            lambda: run_privacy_experiment(
+                cluster_sizes=(3,), px_grid=(0.05,), num_nodes=150, draws=50
+            ),
+        ),
+        "F3": (
+            "communication overhead vs size",
+            lambda: run_overhead_experiment(),
+            lambda: run_overhead_experiment(
+                sizes=(150,), cluster_sizes=(3,), trials=1
+            ),
+        ),
+        "F4": (
+            "accuracy vs size, TAG vs iCPDA",
+            lambda: run_accuracy_experiment(),
+            lambda: run_accuracy_experiment(sizes=(150,), trials=1),
+        ),
+        "F5": (
+            "Th selection",
+            lambda: run_threshold_experiment()["th_table"],
+            lambda: run_threshold_experiment(num_nodes=150, trials=3)["th_table"],
+        ),
+        "F6": (
+            "pollution detection vs attackers",
+            lambda: run_detection_experiment(),
+            lambda: run_detection_experiment(
+                attacker_counts=(1,), num_nodes=150, trials=1
+            ),
+        ),
+        "F7": (
+            "attacker localization rounds",
+            lambda: run_localization_experiment(),
+            lambda: run_localization_experiment(sizes=(150,), trials=1),
+        ),
+        "F8": (
+            "latency and energy vs size",
+            lambda: run_latency_experiment(),
+            lambda: run_latency_experiment(sizes=(150,)),
+        ),
+        "F9": (
+            "scheme comparison: TAG vs slicing vs iCPDA",
+            lambda: run_scheme_comparison(),
+            lambda: run_scheme_comparison(num_nodes=150),
+        ),
+        "F10": (
+            "network lifetime under an energy budget",
+            lambda: run_lifetime_experiment(),
+            lambda: run_lifetime_experiment(
+                num_nodes=100, capacity_j=0.8, max_rounds=10
+            ),
+        ),
+        "A1": (
+            "witness-fraction ablation",
+            lambda: run_witness_ablation(),
+            lambda: run_witness_ablation(
+                fractions=(1.0,), num_nodes=150, trials=1
+            ),
+        ),
+        "A2": (
+            "cluster-size ablation",
+            lambda: run_cluster_size_ablation(),
+            lambda: run_cluster_size_ablation(
+                cluster_sizes=(3,), num_nodes=150
+            ),
+        ),
+        "A3": (
+            "collusion boundary",
+            lambda: run_collusion_boundary(),
+            lambda: run_collusion_boundary(num_nodes=150, trials=1),
+        ),
+        "A4": (
+            "EG key predistribution ablation",
+            lambda: run_eg_experiment(),
+            lambda: run_eg_experiment(
+                ring_sizes=(40,), num_nodes=150
+            ),
+        ),
+        "A7": (
+            "integrity layer cost and value",
+            lambda: run_integrity_cost_experiment(),
+            lambda: run_integrity_cost_experiment(num_nodes=150),
+        ),
+        "A5": (
+            "fixed vs adaptive head election",
+            lambda: run_election_ablation(),
+            lambda: run_election_ablation(sizes=(150,)),
+        ),
+        "A6": (
+            "robustness under channel fading",
+            lambda: run_fading_experiment(),
+            lambda: run_fading_experiment(
+                fading_levels=(0.0, 0.4), num_nodes=150
+            ),
+        ),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment id, e.g. T1 or F4")
+    run_parser.add_argument(
+        "--quick", action="store_true", help="smoke-test scale"
+    )
+    run_parser.add_argument(
+        "--out", type=pathlib.Path, default=None, help="JSON output directory"
+    )
+    all_parser = sub.add_parser(
+        "run-all", help="run every experiment in sequence"
+    )
+    all_parser.add_argument("--quick", action="store_true")
+    all_parser.add_argument("--out", type=pathlib.Path, default=None)
+    args = parser.parse_args(argv)
+    registry = _registry()
+
+    if args.command == "list":
+        for exp_id, (description, _, _) in sorted(registry.items()):
+            print(f"{exp_id:4} {description}")
+        return 0
+
+    def run_one(exp_id: str) -> int:
+        description, full, quick = registry[exp_id]
+        rows = (quick if args.quick else full)()
+        print(render_table(rows, title=f"{exp_id}: {description}"))
+        if args.out is not None:
+            artifact = save_rows(
+                args.out / f"{exp_id.lower()}.json",
+                exp_id,
+                rows,
+                parameters={"quick": args.quick},
+            )
+            print(f"\nsaved: {artifact}")
+        return 0
+
+    if args.command == "run-all":
+        for exp_id in sorted(registry):
+            print(f"\n=== {exp_id} ===")
+            run_one(exp_id)
+        return 0
+
+    exp_id = args.experiment.upper()
+    if exp_id not in registry:
+        print(f"unknown experiment {exp_id!r}; try: list", file=sys.stderr)
+        return 2
+    return run_one(exp_id)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

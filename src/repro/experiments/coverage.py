@@ -1,0 +1,59 @@
+"""Experiment F1: cluster coverage and participation vs network size.
+
+For each size: the fraction of sensors that ended up in an active
+cluster and knew it (simulated, including the merge wave), the fraction
+that actually contributed to an accepted aggregate, and the wave-1
+analytic lower bound from :mod:`repro.analysis.coverage`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.coverage import coverage_lower_bound
+from repro.core.config import IcpdaConfig
+from repro.experiments.common import DEFAULT_SIZES, run_icpda_round
+
+
+def run_coverage_experiment(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    trials: int = 3,
+    config: Optional[IcpdaConfig] = None,
+    base_seed: int = 0,
+) -> List[dict]:
+    """Rows per size: clustered fraction, participation, analytic bound,
+    cluster count, mean active-cluster size."""
+    cfg = config if config is not None else IcpdaConfig()
+    rows: List[dict] = []
+    for size in sizes:
+        clustered_sum = participation_sum = bound_sum = 0.0
+        clusters_sum = cluster_size_sum = 0.0
+        for trial in range(trials):
+            seed = base_seed + trial * 1000 + size
+            result, protocol = run_icpda_round(size, cfg, seed=seed)
+            clustering = protocol.last_clustering
+            assert clustering is not None
+            sensors = size - 1
+            in_active = sum(
+                len(c.informed_members) - (1 if c.head == 0 else 0)
+                for c in clustering.active_clusters
+            )
+            clustered_sum += in_active / sensors
+            participation_sum += result.participation
+            degrees = [protocol.stack.degree(n) for n in range(1, size)]
+            bound_sum += coverage_lower_bound(degrees, cfg.p_c)
+            active = clustering.active_clusters
+            clusters_sum += len(active)
+            if active:
+                cluster_size_sum += sum(c.size for c in active) / len(active)
+        rows.append(
+            {
+                "nodes": size,
+                "clustered_fraction": round(clustered_sum / trials, 4),
+                "participation": round(participation_sum / trials, 4),
+                "wave1_bound": round(bound_sum / trials, 4),
+                "active_clusters": round(clusters_sum / trials, 1),
+                "mean_cluster_size": round(cluster_size_sum / trials, 2),
+            }
+        )
+    return rows

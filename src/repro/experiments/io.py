@@ -1,0 +1,103 @@
+"""Result persistence: experiment rows as JSON with a metadata header.
+
+Every saved artifact records the experiment id, library version, and
+the parameters that produced it, so a results directory is
+self-describing and re-runs can be compared mechanically.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro import __version__
+from repro.errors import ReproError
+
+PathLike = Union[str, pathlib.Path]
+
+#: Current artifact schema version.
+SCHEMA_VERSION = 1
+
+
+def save_rows(
+    path: PathLike,
+    experiment: str,
+    rows: Sequence[Dict[str, Any]],
+    parameters: Optional[Dict[str, Any]] = None,
+) -> pathlib.Path:
+    """Write experiment rows to ``path`` as a self-describing JSON doc.
+
+    Raises
+    ------
+    ReproError
+        If a row is not JSON-serializable.
+    """
+    path = pathlib.Path(path)
+    document = {
+        "schema": SCHEMA_VERSION,
+        "experiment": experiment,
+        "library_version": __version__,
+        "parameters": dict(parameters or {}),
+        "rows": list(rows),
+    }
+    try:
+        text = json.dumps(document, indent=2, sort_keys=True, allow_nan=True)
+    except (TypeError, ValueError) as error:
+        raise ReproError(f"rows for {experiment!r} not serializable: {error}")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text + "\n")
+    return path
+
+
+def load_rows(path: PathLike) -> Dict[str, Any]:
+    """Read a saved artifact; returns the full document.
+
+    Raises
+    ------
+    ReproError
+        On missing files or schema mismatches.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ReproError(f"no results artifact at {path}")
+    document = json.loads(path.read_text())
+    if document.get("schema") != SCHEMA_VERSION:
+        raise ReproError(
+            f"artifact schema {document.get('schema')} != {SCHEMA_VERSION}"
+        )
+    for key in ("experiment", "rows"):
+        if key not in document:
+            raise ReproError(f"artifact at {path} missing {key!r}")
+    return document
+
+
+def diff_rows(
+    old: Sequence[Dict[str, Any]],
+    new: Sequence[Dict[str, Any]],
+    *,
+    rel_tolerance: float = 0.05,
+) -> List[str]:
+    """Compare two row sets field by field; returns human-readable
+    difference descriptions (empty = equivalent within tolerance).
+
+    Numeric fields compare with relative tolerance; everything else
+    compares exactly. Extra/missing rows are reported, not raised.
+    """
+    differences: List[str] = []
+    if len(old) != len(new):
+        differences.append(f"row count {len(old)} -> {len(new)}")
+    for index, (row_old, row_new) in enumerate(zip(old, new)):
+        keys = set(row_old) | set(row_new)
+        for key in sorted(keys):
+            if key not in row_old or key not in row_new:
+                differences.append(f"row {index}: field {key!r} appeared/vanished")
+                continue
+            a, b = row_old[key], row_new[key]
+            if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+                scale = max(abs(float(a)), abs(float(b)), 1e-12)
+                if abs(float(a) - float(b)) / scale > rel_tolerance:
+                    differences.append(f"row {index}: {key} {a} -> {b}")
+            elif a != b:
+                differences.append(f"row {index}: {key} {a!r} -> {b!r}")
+    return differences

@@ -1,0 +1,94 @@
+"""Experiment F7: attacker localization in O(log N) rounds.
+
+After a rejected round, the base station probes cluster subsets
+(restricted rounds) and binary-searches the polluter. The experiment
+measures probes-to-isolation against the ``ceil(log2 C)`` bound across
+network sizes. The probe keeps ``round_id`` fixed so clustering is
+identical across probes (the restriction names cluster heads).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.detection import localization_rounds_bound
+from repro.attacks.pollution import PollutionAttack, TamperStrategy
+from repro.attacks.scenario import AttackScenario
+from repro.core.config import IcpdaConfig
+from repro.core.localization import localize_polluter
+from repro.core.protocol import IcpdaProtocol
+from repro.errors import ReproError
+from repro.topology.deploy import uniform_deployment
+
+
+def localize_one(
+    num_nodes: int,
+    seed: int,
+    config: Optional[IcpdaConfig] = None,
+    strategy: TamperStrategy = TamperStrategy.NAIVE_TOTAL,
+) -> Tuple[bool, int, int, int]:
+    """One full localization episode.
+
+    Returns ``(found, probes_used, bound, num_clusters)`` where ``found``
+    means the isolated suspect cluster is the attacker's cluster.
+    """
+    cfg = config if config is not None else IcpdaConfig()
+    rng = np.random.default_rng(seed)
+    deployment = uniform_deployment(num_nodes, rng=rng)
+    scenario = AttackScenario(deployment, cfg, seed=seed)
+    candidates = scenario.candidate_attackers(role="head")
+    if not candidates:
+        raise ReproError(f"seed {seed}: no candidate heads to attack")
+    attacker = int(rng.choice(candidates))
+
+    def probe(subset: Tuple[int, ...]) -> bool:
+        attack = PollutionAttack(attackers={attacker}, strategy=strategy)
+        protocol = IcpdaProtocol(
+            deployment,
+            cfg.with_restriction(subset),
+            seed=seed,
+            attack_plan=attack,
+        )
+        protocol.setup()
+        result = protocol.run_round(scenario.readings, round_id=0)
+        return result.detected_pollution
+
+    outcome = localize_polluter(probe, candidates)
+    bound = localization_rounds_bound(len(candidates))
+    found = outcome.converged and outcome.suspects == (attacker,)
+    return found, outcome.probes_used, bound, len(candidates)
+
+
+def run_localization_experiment(
+    sizes: Sequence[int] = (200, 300, 400),
+    trials: int = 2,
+    config: Optional[IcpdaConfig] = None,
+    base_seed: int = 0,
+) -> List[dict]:
+    """Rows per size: isolation success rate, mean probes, log2 bound."""
+    rows: List[dict] = []
+    for size in sizes:
+        found_count = 0
+        probes_sum = 0.0
+        bound_sum = 0.0
+        clusters_sum = 0.0
+        for trial in range(trials):
+            found, probes, bound, clusters = localize_one(
+                size, seed=base_seed + trial * 31 + size, config=config
+            )
+            found_count += int(found)
+            probes_sum += probes
+            bound_sum += bound
+            clusters_sum += clusters
+        rows.append(
+            {
+                "nodes": size,
+                "clusters": round(clusters_sum / trials, 1),
+                "isolated_ok": f"{found_count}/{trials}",
+                "mean_probes": round(probes_sum / trials, 1),
+                "log2_bound": round(bound_sum / trials, 1),
+            }
+        )
+    return rows

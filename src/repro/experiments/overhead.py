@@ -1,0 +1,59 @@
+"""Experiment F3: communication overhead vs network size.
+
+Total bytes put on the air per round: TAG vs iCPDA with cluster-size
+bounds [3, 3] and [4, 4] (the analogue of iPDA's l=1 / l=2 series), plus
+the analytic per-node cost model's ratio for comparison. The iCPDA
+figure is broken down per protocol phase so the ablations can attribute
+cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.overhead import overhead_ratio
+from repro.experiments.common import (
+    DEFAULT_SIZES,
+    fixed_cluster_config,
+    run_icpda_round,
+    run_tag_round_on,
+)
+
+
+def run_overhead_experiment(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    cluster_sizes: Sequence[int] = (3, 4),
+    trials: int = 2,
+    base_seed: int = 0,
+) -> List[dict]:
+    """Rows per size: TAG bytes, iCPDA bytes per cluster-size setting,
+    measured and analytic ratios, and the iCPDA phase breakdown."""
+    rows: List[dict] = []
+    for size in sizes:
+        tag_bytes = 0.0
+        for trial in range(trials):
+            _, stack = run_tag_round_on(size, seed=base_seed + trial * 101 + size)
+            tag_bytes += stack.counters.total_bytes
+        tag_bytes /= trials
+
+        row = {"nodes": size, "tag_bytes": int(tag_bytes)}
+        for m in cluster_sizes:
+            cfg = fixed_cluster_config(m)
+            total = 0.0
+            phases = {"clustering": 0.0, "exchange": 0.0, "report": 0.0}
+            for trial in range(trials):
+                _, protocol = run_icpda_round(
+                    size, cfg, seed=base_seed + trial * 101 + size
+                )
+                total += protocol.total_bytes()
+                for phase in phases:
+                    phases[phase] += protocol.phase_bytes.get(phase, 0)
+            total /= trials
+            row[f"icpda_m{m}_bytes"] = int(total)
+            row[f"icpda_m{m}_ratio"] = round(total / tag_bytes, 2)
+            row[f"analytic_m{m}_ratio"] = round(overhead_ratio(m), 2)
+            row[f"icpda_m{m}_exchange_share"] = round(
+                phases["exchange"] / (trials * total) * trials, 2
+            )
+        rows.append(row)
+    return rows

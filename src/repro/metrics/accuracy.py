@@ -1,0 +1,90 @@
+"""Aggregation-accuracy metrics.
+
+The paper's accuracy metric is the ratio of the collected aggregate to
+the true aggregate over *all* sensors (1.0 = lossless). COUNT accuracy is
+equivalently the participation ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import isnan
+from typing import List, Optional, Sequence
+
+from repro.errors import AggregationError
+
+
+@dataclass(frozen=True)
+class AccuracyResult:
+    """Accuracy summary across repeated trials.
+
+    Attributes
+    ----------
+    mean / std:
+        Moments of the per-trial accuracy ratios.
+    minimum / maximum:
+        Range across trials.
+    trials:
+        Number of (valid) trials aggregated.
+    rejected:
+        Trials that produced no accepted value (excluded from moments).
+    """
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    trials: int
+    rejected: int
+
+    def as_row(self) -> dict:
+        """Flatten for table rendering."""
+        return {
+            "accuracy_mean": round(self.mean, 4),
+            "accuracy_std": round(self.std, 4),
+            "accuracy_min": round(self.minimum, 4),
+            "accuracy_max": round(self.maximum, 4),
+            "trials": self.trials,
+            "rejected": self.rejected,
+        }
+
+
+def accuracy_ratio(collected: float, truth: float) -> float:
+    """``collected / truth``; NaN when truth is zero.
+
+    Raises
+    ------
+    AggregationError
+        If either input is NaN (a bug upstream, not a data condition).
+    """
+    if isnan(collected) or isnan(truth):
+        raise AggregationError("accuracy inputs must not be NaN")
+    if truth == 0:
+        return float("nan")
+    return collected / truth
+
+
+def count_accuracy(contributors: int, total_sensors: int) -> float:
+    """Participation ratio: contributors over all sensors."""
+    if total_sensors <= 0:
+        raise AggregationError(f"total_sensors must be positive, got {total_sensors}")
+    return contributors / total_sensors
+
+
+def summarize_accuracy(values: Sequence[Optional[float]]) -> AccuracyResult:
+    """Fold per-trial accuracies (None = rejected round) into a summary."""
+    valid: List[float] = [v for v in values if v is not None and not isnan(v)]
+    rejected = len(values) - len(valid)
+    if not valid:
+        nan = float("nan")
+        return AccuracyResult(nan, nan, nan, nan, trials=0, rejected=rejected)
+    mean = sum(valid) / len(valid)
+    variance = sum((v - mean) ** 2 for v in valid) / len(valid)
+    return AccuracyResult(
+        mean=mean,
+        std=variance**0.5,
+        minimum=min(valid),
+        maximum=max(valid),
+        trials=len(valid),
+        rejected=rejected,
+    )

@@ -1,0 +1,139 @@
+"""Message and byte counters, per node and per message kind.
+
+The communication-overhead experiments (F3) compare total bytes put on
+the air by TAG vs iCPDA across network sizes, and the ablations break the
+totals down by protocol phase — so counters key on ``(node, kind)`` and
+can be rolled up either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class KindBreakdown:
+    """Totals for one message kind.
+
+    Attributes
+    ----------
+    kind:
+        Message type label (``"hello"``, ``"share"``, ...).
+    messages / bytes:
+        Frames transmitted and their byte sum (headers included).
+    """
+
+    kind: str
+    messages: int
+    bytes: int
+
+
+@dataclass
+class MessageCounters:
+    """Accumulates transmit/receive totals for a protocol run."""
+
+    _tx: Dict[Tuple[int, str], List[int]] = field(default_factory=dict)
+    _rx: Dict[Tuple[int, str], List[int]] = field(default_factory=dict)
+
+    # -- recording ----------------------------------------------------------
+
+    def record_tx(self, node_id: int, kind: str, num_bytes: int) -> None:
+        """Count one transmitted frame."""
+        cell = self._tx.setdefault((node_id, kind), [0, 0])
+        cell[0] += 1
+        cell[1] += num_bytes
+
+    def record_rx(self, node_id: int, kind: str, num_bytes: int) -> None:
+        """Count one received (addressed, clean) frame."""
+        cell = self._rx.setdefault((node_id, kind), [0, 0])
+        cell[0] += 1
+        cell[1] += num_bytes
+
+    # -- rollups -------------------------------------------------------------
+
+    @property
+    def total_messages(self) -> int:
+        """All frames transmitted in the run."""
+        return sum(cell[0] for cell in self._tx.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes transmitted in the run (headers included)."""
+        return sum(cell[1] for cell in self._tx.values())
+
+    def node_tx_bytes(self, node_id: int) -> int:
+        """Bytes transmitted by one node."""
+        return sum(
+            cell[1] for (node, _), cell in self._tx.items() if node == node_id
+        )
+
+    def node_tx_messages(self, node_id: int) -> int:
+        """Frames transmitted by one node."""
+        return sum(
+            cell[0] for (node, _), cell in self._tx.items() if node == node_id
+        )
+
+    def node_rx_bytes(self, node_id: int) -> int:
+        """Bytes received (addressed) by one node."""
+        return sum(
+            cell[1] for (node, _), cell in self._rx.items() if node == node_id
+        )
+
+    def by_kind(self) -> List[KindBreakdown]:
+        """Transmit totals per message kind, sorted by descending bytes."""
+        rollup: Dict[str, List[int]] = {}
+        for (_, kind), cell in self._tx.items():
+            agg = rollup.setdefault(kind, [0, 0])
+            agg[0] += cell[0]
+            agg[1] += cell[1]
+        breakdown = [
+            KindBreakdown(kind=kind, messages=cell[0], bytes=cell[1])
+            for kind, cell in rollup.items()
+        ]
+        breakdown.sort(key=lambda b: -b.bytes)
+        return breakdown
+
+    def kind_bytes(self, kind: str) -> int:
+        """Bytes transmitted under one message kind."""
+        return sum(cell[1] for (_, k), cell in self._tx.items() if k == kind)
+
+    def kind_messages(self, kind: str) -> int:
+        """Frames transmitted under one message kind."""
+        return sum(cell[0] for (_, k), cell in self._tx.items() if k == kind)
+
+    def messages_per_node(self) -> Dict[int, int]:
+        """Node id -> frames transmitted."""
+        result: Dict[int, int] = {}
+        for (node, _), cell in self._tx.items():
+            result[node] = result.get(node, 0) + cell[0]
+        return result
+
+    def merged(self, other: "MessageCounters") -> "MessageCounters":
+        """Return a new counter set combining this and ``other``."""
+        merged = MessageCounters()
+        for source in (self, other):
+            for key, cell in source._tx.items():
+                agg = merged._tx.setdefault(key, [0, 0])
+                agg[0] += cell[0]
+                agg[1] += cell[1]
+            for key, cell in source._rx.items():
+                agg = merged._rx.setdefault(key, [0, 0])
+                agg[0] += cell[0]
+                agg[1] += cell[1]
+        return merged
+
+    def reset(self) -> None:
+        """Zero everything."""
+        self._tx.clear()
+        self._rx.clear()
+
+    def summary(self, label: Optional[str] = None) -> dict:
+        """One-line dict summary for result tables."""
+        row = {
+            "messages": self.total_messages,
+            "bytes": self.total_bytes,
+        }
+        if label is not None:
+            row["label"] = label
+        return row

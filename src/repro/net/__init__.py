@@ -1,0 +1,39 @@
+"""Wireless network substrate on top of the event kernel.
+
+Models the parts of a WSN radio stack that the paper's evaluation depends
+on:
+
+* **shared medium with collisions** — two overlapping transmissions
+  audible at a receiver corrupt each other there
+  (:mod:`repro.net.medium`), so losses grow with contention/density;
+* **overhearing** — every node in range of a transmission can observe it
+  promiscuously, the physical basis of iCPDA's peer-monitoring integrity
+  layer (:mod:`repro.net.node`);
+* **CSMA with random backoff** (:mod:`repro.net.mac`);
+* **byte-level accounting** of every frame (:mod:`repro.net.packet`),
+  feeding the communication-overhead experiments;
+* **energy accounting** per node (:mod:`repro.net.energy`).
+"""
+
+from repro.net.energy import EnergyModel, EnergyReport
+from repro.net.mac import CsmaMac, MacParams
+from repro.net.medium import WirelessMedium
+from repro.net.node import Node
+from repro.net.packet import BROADCAST, HEADER_BYTES, Packet, payload_size
+from repro.net.radio import RadioParams
+from repro.net.stack import NetworkStack
+
+__all__ = [
+    "Packet",
+    "payload_size",
+    "BROADCAST",
+    "HEADER_BYTES",
+    "RadioParams",
+    "WirelessMedium",
+    "CsmaMac",
+    "MacParams",
+    "Node",
+    "EnergyModel",
+    "EnergyReport",
+    "NetworkStack",
+]

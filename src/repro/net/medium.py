@@ -1,0 +1,237 @@
+"""The shared wireless medium: broadcast propagation, collisions,
+carrier sense, and promiscuous overhearing.
+
+Model
+-----
+A transmission by node ``s`` occupies the channel at every node within
+radio range of ``s`` for the frame's airtime. A reception at node ``r``
+is *corrupted* if
+
+* any other transmission audible at ``r`` overlaps it in time, or
+* ``r`` itself transmits during the reception (half-duplex radios), or
+* an independent ambient-loss coin flips against it.
+
+Clean receptions are delivered to ``r``'s receive callback at the frame's
+end time. Delivery happens for **every** in-range node — addressing is a
+link-layer filter, so promiscuous listeners (iCPDA witnesses) observe
+frames not addressed to them. This shared-medium behaviour is exactly the
+physical property the paper's integrity mechanism exploits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.errors import SimulationError
+from repro.net.packet import Packet
+from repro.net.radio import RadioParams
+from repro.sim.kernel import Simulator
+
+#: Signature of a node's frame-delivery callback.
+ReceiveCallback = Callable[[Packet], None]
+
+_TX_SEQ = itertools.count()
+
+
+@dataclass(eq=False)  # identity semantics: each transmission is unique
+class _Transmission:
+    """Bookkeeping for one in-flight frame."""
+
+    tx_id: int
+    sender: int
+    packet: Packet
+    start: float
+    end: float
+    corrupted_at: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class MediumStats:
+    """Aggregate channel statistics for a run."""
+
+    transmissions: int = 0
+    deliveries: int = 0
+    collisions: int = 0
+    ambient_losses: int = 0
+    half_duplex_losses: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "transmissions": self.transmissions,
+            "deliveries": self.deliveries,
+            "collisions": self.collisions,
+            "ambient_losses": self.ambient_losses,
+            "half_duplex_losses": self.half_duplex_losses,
+        }
+
+
+class WirelessMedium:
+    """Shared broadcast channel over a fixed adjacency.
+
+    Parameters
+    ----------
+    sim:
+        Event kernel.
+    adjacency:
+        Unit-disk adjacency lists (node id -> in-range node ids), normally
+        from :func:`repro.topology.graphs.neighbors_within_range`.
+    radio:
+        Physical-layer parameters.
+    distances:
+        Optional pairwise distance lookup ``(a, b) -> meters`` used for the
+        symbolic propagation term; zero when absent.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        adjacency: Dict[int, List[int]],
+        radio: RadioParams,
+        distances: Optional[Callable[[int, int], float]] = None,
+    ) -> None:
+        self._sim = sim
+        self._adjacency = adjacency
+        self._radio = radio
+        self._distances = distances
+        self._receivers: Dict[int, ReceiveCallback] = {}
+        self._audible: Dict[int, Set[_Transmission]] = {
+            node: set() for node in adjacency
+        }
+        self._transmitting: Dict[int, Optional[_Transmission]] = {
+            node: None for node in adjacency
+        }
+        self._loss_rng = sim.rng.stream("medium.ambient_loss")
+        self._dead: Set[int] = set()
+        self.stats = MediumStats()
+
+    @property
+    def radio(self) -> RadioParams:
+        """The physical-layer parameters in force."""
+        return self._radio
+
+    def attach(self, node_id: int, callback: ReceiveCallback) -> None:
+        """Register the frame-delivery callback for ``node_id``."""
+        if node_id not in self._adjacency:
+            raise SimulationError(f"node {node_id} not in medium adjacency")
+        self._receivers[node_id] = callback
+
+    def neighbors(self, node_id: int) -> List[int]:
+        """Node ids within radio range of ``node_id``."""
+        return list(self._adjacency[node_id])
+
+    def kill_node(self, node_id: int) -> None:
+        """Crash-stop ``node_id``: it transmits nothing and receives
+        nothing from now on (fail-silent model). In-flight frames it
+        already sent still propagate — the radio wave is out there."""
+        if node_id not in self._adjacency:
+            raise SimulationError(f"unknown node {node_id}")
+        self._dead.add(node_id)
+        self._sim.trace.emit("medium.kill", f"node {node_id} crashed", node=node_id)
+
+    def is_dead(self, node_id: int) -> bool:
+        """True if ``node_id`` was crash-stopped."""
+        return node_id in self._dead
+
+    def carrier_busy(self, node_id: int) -> bool:
+        """True if ``node_id`` senses energy on the channel right now
+        (another audible transmission, or its own ongoing one)."""
+        return bool(self._audible[node_id]) or self._transmitting[node_id] is not None
+
+    def transmit(self, sender: int, packet: Packet) -> None:
+        """Put ``packet`` on the air from ``sender`` immediately.
+
+        The MAC is responsible for carrier sensing *before* calling this;
+        the medium faithfully corrupts whatever overlaps.
+        """
+        if sender not in self._adjacency:
+            raise SimulationError(f"unknown sender {sender}")
+        if sender in self._dead:
+            return  # crashed radios stay silent
+        now = self._sim.now
+        airtime = self._radio.airtime(packet)
+        tx = _Transmission(
+            tx_id=next(_TX_SEQ),
+            sender=sender,
+            packet=packet,
+            start=now,
+            end=now + airtime,
+        )
+        self.stats.transmissions += 1
+        self._sim.trace.emit(
+            "medium.tx", f"node {sender} sends {packet.kind}", sender=sender,
+            kind=packet.kind, bytes=packet.size_bytes,
+        )
+        # Half-duplex: if the sender was already mid-reception those frames
+        # are lost at the sender.
+        for ongoing in self._audible[sender]:
+            ongoing.corrupted_at.add(sender)
+        self._transmitting[sender] = tx
+
+        for receiver in self._adjacency[sender]:
+            active = self._audible[receiver]
+            if active:
+                # Overlap: this frame and every concurrently audible frame
+                # are corrupted at this receiver.
+                tx.corrupted_at.add(receiver)
+                for ongoing in active:
+                    ongoing.corrupted_at.add(receiver)
+            if self._transmitting[receiver] is not None:
+                tx.corrupted_at.add(receiver)
+            active.add(tx)
+
+        self._sim.schedule(
+            airtime, lambda: self._complete(tx), name=f"tx-end:{packet.kind}"
+        )
+
+    # -- internal ------------------------------------------------------------
+
+    def _complete(self, tx: _Transmission) -> None:
+        self._transmitting[tx.sender] = None
+        for receiver in self._adjacency[tx.sender]:
+            self._audible[receiver].discard(tx)
+            self._finish_reception(tx, receiver)
+
+    def _finish_reception(self, tx: _Transmission, receiver: int) -> None:
+        if receiver in tx.corrupted_at:
+            if self._transmitting[receiver] is not None or receiver == tx.sender:
+                self.stats.half_duplex_losses += 1
+            else:
+                self.stats.collisions += 1
+            self._sim.trace.emit(
+                "medium.collision",
+                f"frame {tx.packet.kind} lost at {receiver}",
+                sender=tx.sender,
+                receiver=receiver,
+                kind=tx.packet.kind,
+            )
+            return
+        loss_probability = self._radio.ambient_loss
+        if self._radio.edge_fading > 0 and self._distances is not None:
+            loss_probability = 1.0 - (1.0 - loss_probability) * (
+                1.0
+                - self._radio.fading_loss_probability(
+                    self._distances(tx.sender, receiver)
+                )
+            )
+        if loss_probability > 0 and self._loss_rng.random() < loss_probability:
+            self.stats.ambient_losses += 1
+            self._sim.trace.emit(
+                "medium.ambient_loss",
+                f"frame {tx.packet.kind} faded at {receiver}",
+                sender=tx.sender,
+                receiver=receiver,
+            )
+            return
+        callback = self._receivers.get(receiver)
+        if callback is None or receiver in self._dead:
+            return
+        self.stats.deliveries += 1
+        delay = 0.0
+        if self._distances is not None:
+            delay = self._radio.propagation_delay(self._distances(tx.sender, receiver))
+        if delay > 0:
+            self._sim.schedule(delay, lambda: callback(tx.packet), name="rx-deliver")
+        else:
+            callback(tx.packet)

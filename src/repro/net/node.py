@@ -1,0 +1,89 @@
+"""Node frame dispatch: addressed handlers and promiscuous overhearing.
+
+A :class:`Node` receives *every* clean frame audible at its position (the
+medium does not filter). It dispatches:
+
+* frames addressed to it (unicast to its id, or broadcast) to the handler
+  registered for the frame's ``kind``;
+* **all** frames — addressed or not — to registered *overhear* listeners.
+
+Overhearing is deliberately a first-class mechanism because iCPDA's
+integrity layer is built on it: cluster members witness their head's
+upstream report by listening promiscuously.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.net.packet import Packet
+
+#: Handler signature for addressed frames.
+PacketHandler = Callable[[Packet], None]
+#: Listener signature for promiscuous frames.
+OverhearListener = Callable[[Packet], None]
+
+
+class Node:
+    """Protocol-facing endpoint for one sensor.
+
+    Parameters
+    ----------
+    node_id:
+        This node's identifier (0 is the base station by convention).
+    on_unhandled:
+        Optional fallback invoked for addressed frames with no registered
+        handler (default: silently ignored, like a real stack).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        on_unhandled: Optional[PacketHandler] = None,
+    ) -> None:
+        self.node_id = node_id
+        self._handlers: Dict[str, PacketHandler] = {}
+        self._overhear: List[OverhearListener] = []
+        self._on_unhandled = on_unhandled
+        self.received = 0
+        self.overheard = 0
+
+    def register_handler(self, kind: str, handler: PacketHandler) -> None:
+        """Route addressed frames of ``kind`` to ``handler``.
+
+        Re-registering a kind replaces the previous handler (protocol
+        phases hand the same message types to new logic).
+        """
+        if not kind:
+            raise SimulationError("handler kind must be non-empty")
+        self._handlers[kind] = handler
+
+    def unregister_handler(self, kind: str) -> None:
+        """Remove the handler for ``kind`` if present."""
+        self._handlers.pop(kind, None)
+
+    def register_overhear(self, listener: OverhearListener) -> None:
+        """Add a promiscuous listener that sees every audible frame."""
+        self._overhear.append(listener)
+
+    def clear_overhear(self) -> None:
+        """Remove all promiscuous listeners."""
+        self._overhear.clear()
+
+    def deliver(self, packet: Packet) -> None:
+        """Entry point called by the medium for each clean frame."""
+        for listener in list(self._overhear):
+            self.overheard += 1
+            listener(packet)
+        if not packet.addressed_to(self.node_id):
+            return
+        self.received += 1
+        handler = self._handlers.get(packet.kind)
+        if handler is not None:
+            handler(packet)
+        elif self._on_unhandled is not None:
+            self._on_unhandled(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Node({self.node_id}, handlers={sorted(self._handlers)})"

@@ -1,0 +1,117 @@
+"""Packets and wire-size accounting.
+
+Communication overhead is a primary metric of the evaluation, so every
+frame carries an explicit byte size. Sizes are derived from payload
+contents by :func:`payload_size` using the conventions below (chosen to
+match TinyOS-era WSN packet layouts):
+
+==================  =========================================
+payload value       wire size
+==================  =========================================
+bool                1 byte
+int                 4 bytes (8 if it exceeds 32-bit range)
+float               4 bytes
+str                 UTF-8 length
+bytes               length
+sequence            sum of element sizes
+mapping             sum of value sizes
+object              ``obj.wire_size()`` if it defines one
+==================  =========================================
+
+Each frame additionally pays :data:`HEADER_BYTES` of MAC/NET header.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+#: Pseudo-address for local broadcast frames.
+BROADCAST = -1
+
+#: Combined MAC + network header cost per frame, bytes.
+HEADER_BYTES = 16
+
+_PACKET_SEQ = itertools.count()
+
+
+def payload_size(value: Any) -> int:
+    """Recursively compute the wire size in bytes of a payload value.
+
+    Unknown object types must expose a ``wire_size()`` method; otherwise a
+    :class:`TypeError` is raised so silent mis-accounting cannot happen.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 4 if -(2**31) <= value < 2**31 else 8
+    if isinstance(value, float):
+        return 4
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, Mapping):
+        return sum(payload_size(v) for v in value.values())
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sum(payload_size(v) for v in value)
+    wire_size = getattr(value, "wire_size", None)
+    if callable(wire_size):
+        return int(wire_size())
+    raise TypeError(f"cannot size payload value of type {type(value).__name__}")
+
+
+@dataclass(frozen=True)
+class Packet:
+    """An over-the-air frame.
+
+    Attributes
+    ----------
+    src:
+        Sender node id.
+    dst:
+        Destination node id, or :data:`BROADCAST`.
+    kind:
+        Protocol message type (``"hello"``, ``"share"``, ``"report"``...),
+        used for dispatch and per-kind accounting.
+    payload:
+        Arbitrary mapping of message fields.
+    size_bytes:
+        Total frame size including header. Computed from the payload when
+        not given explicitly.
+    seq:
+        Globally unique frame number (diagnostics / dedup).
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    size_bytes: Optional[int] = None
+    seq: int = field(default_factory=lambda: next(_PACKET_SEQ))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes is None:
+            object.__setattr__(
+                self, "size_bytes", HEADER_BYTES + payload_size(self.payload)
+            )
+        elif self.size_bytes < HEADER_BYTES:
+            raise ValueError(
+                f"size_bytes={self.size_bytes} below header size {HEADER_BYTES}"
+            )
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True for local broadcast frames."""
+        return self.dst == BROADCAST
+
+    def addressed_to(self, node_id: int) -> bool:
+        """True if ``node_id`` is an intended recipient of this frame."""
+        return self.is_broadcast or self.dst == node_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        dst = "*" if self.is_broadcast else str(self.dst)
+        return f"Packet({self.src}->{dst} {self.kind} {self.size_bytes}B #{self.seq})"

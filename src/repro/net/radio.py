@@ -1,0 +1,81 @@
+"""Radio parameters: range, bitrate, airtime and ambient loss.
+
+The paper family simulates MICA-class motes: 50 m transmission range and
+a 1 Mbps radio. Airtime of a frame is ``8 * size_bytes / bitrate``;
+propagation delay over <= 50 m is negligible at these time scales but a
+tiny distance-proportional term is kept so receptions at different
+distances never tie exactly (determinism without artificial coupling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeploymentError
+from repro.net.packet import Packet
+
+#: Speed of light, m/s (for the symbolic propagation term).
+_C = 3.0e8
+
+
+@dataclass(frozen=True)
+class RadioParams:
+    """Physical-layer parameters shared by all nodes.
+
+    Attributes
+    ----------
+    range_m:
+        Unit-disk communication radius, meters.
+    bitrate_bps:
+        Link speed, bits per second.
+    ambient_loss:
+        Probability that an otherwise-clean reception is lost anyway
+        (noise floor), independent of distance. Collisions are modelled
+        separately by the medium.
+    edge_fading:
+        Distance-dependent loss: a reception over distance ``d`` is
+        additionally lost with probability ``edge_fading * (d/range)^4``
+        — near-range links are solid, range-edge links flaky, the
+        log-distance reality unit-disk models ignore. 0 disables.
+    turnaround_s:
+        Fixed per-frame radio turnaround/processing overhead, seconds.
+    """
+
+    range_m: float = 50.0
+    bitrate_bps: float = 1_000_000.0
+    ambient_loss: float = 0.0
+    edge_fading: float = 0.0
+    turnaround_s: float = 0.000_1
+
+    def __post_init__(self) -> None:
+        if self.range_m <= 0:
+            raise DeploymentError(f"range_m must be positive, got {self.range_m}")
+        if self.bitrate_bps <= 0:
+            raise DeploymentError(f"bitrate_bps must be positive, got {self.bitrate_bps}")
+        if not 0.0 <= self.ambient_loss < 1.0:
+            raise DeploymentError(
+                f"ambient_loss must be in [0, 1), got {self.ambient_loss}"
+            )
+        if not 0.0 <= self.edge_fading <= 1.0:
+            raise DeploymentError(
+                f"edge_fading must be in [0, 1], got {self.edge_fading}"
+            )
+        if self.turnaround_s < 0:
+            raise DeploymentError(
+                f"turnaround_s must be >= 0, got {self.turnaround_s}"
+            )
+
+    def airtime(self, packet: Packet) -> float:
+        """Seconds the medium is occupied by ``packet``."""
+        return self.turnaround_s + (8.0 * packet.size_bytes) / self.bitrate_bps
+
+    def fading_loss_probability(self, distance_m: float) -> float:
+        """Distance-dependent loss probability for one reception."""
+        if self.edge_fading == 0.0:
+            return 0.0
+        ratio = min(1.0, max(0.0, distance_m / self.range_m))
+        return self.edge_fading * ratio**4
+
+    def propagation_delay(self, distance_m: float) -> float:
+        """Propagation delay over ``distance_m`` meters (tiny but nonzero)."""
+        return distance_m / _C

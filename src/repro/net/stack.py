@@ -1,0 +1,181 @@
+"""The assembled per-network communication stack.
+
+:class:`NetworkStack` wires a deployment into a working radio network:
+one shared :class:`~repro.net.medium.WirelessMedium`, one
+:class:`~repro.net.mac.CsmaMac` and :class:`~repro.net.node.Node` per
+sensor, plus byte/energy accounting. Protocol layers (TAG, iCPDA) talk
+only to this facade:
+
+>>> stack.send(src=5, dst=2, kind="report", payload={"value": 17})
+>>> stack.broadcast(src=0, kind="hello", payload={"depth": 0})
+>>> stack.register_handler(2, "report", my_handler)
+>>> stack.register_overhear(7, my_witness_listener)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.errors import SimulationError
+from repro.metrics.counters import MessageCounters
+from repro.net.energy import EnergyModel
+from repro.net.mac import CsmaMac, MacParams
+from repro.net.medium import WirelessMedium
+from repro.net.node import Node, OverhearListener, PacketHandler
+from repro.net.packet import BROADCAST, Packet
+from repro.net.radio import RadioParams
+from repro.sim.kernel import Simulator
+from repro.topology.deploy import Deployment
+from repro.topology.graphs import neighbors_within_range
+
+
+class NetworkStack:
+    """Radio network facade over a deployment.
+
+    Parameters
+    ----------
+    sim:
+        Event kernel the network runs on.
+    deployment:
+        Geometric ground truth (positions, range).
+    radio / mac_params:
+        Physical and MAC parameters (defaults match the paper's setup).
+    counters / energy:
+        Optional externally-owned accounting objects; fresh ones are
+        created when omitted.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        deployment: Deployment,
+        *,
+        radio: Optional[RadioParams] = None,
+        mac_params: Optional[MacParams] = None,
+        counters: Optional[MessageCounters] = None,
+        energy: Optional[EnergyModel] = None,
+    ) -> None:
+        self.sim = sim
+        self.deployment = deployment
+        self.radio = radio if radio is not None else RadioParams(
+            range_m=deployment.radio_range
+        )
+        if abs(self.radio.range_m - deployment.radio_range) > 1e-9:
+            raise SimulationError(
+                "radio range disagrees with deployment radio_range: "
+                f"{self.radio.range_m} != {deployment.radio_range}"
+            )
+        self.counters = counters if counters is not None else MessageCounters()
+        self.energy = energy if energy is not None else EnergyModel()
+        self.adjacency = neighbors_within_range(deployment)
+        self.medium = WirelessMedium(
+            sim,
+            self.adjacency,
+            self.radio,
+            distances=deployment.distance,
+        )
+        self.nodes: Dict[int, Node] = {}
+        self.macs: Dict[int, CsmaMac] = {}
+        params = mac_params if mac_params is not None else MacParams()
+        for node_id in range(deployment.num_nodes):
+            node = Node(node_id)
+            self.nodes[node_id] = node
+            self.macs[node_id] = CsmaMac(sim, self.medium, node_id, params)
+            self.medium.attach(node_id, self._make_delivery(node))
+
+    # -- wiring ----------------------------------------------------------------
+
+    def _make_delivery(self, node: Node) -> Callable[[Packet], None]:
+        def deliver(packet: Packet) -> None:
+            self.energy.account_rx(node.node_id, packet.size_bytes)
+            if packet.addressed_to(node.node_id):
+                self.counters.record_rx(node.node_id, packet.kind, packet.size_bytes)
+            node.deliver(packet)
+
+        return deliver
+
+    # -- sending ----------------------------------------------------------------
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        payload: Optional[Mapping[str, Any]] = None,
+        *,
+        size_bytes: Optional[int] = None,
+    ) -> Packet:
+        """Queue a unicast frame from ``src`` to ``dst``; returns the frame."""
+        packet = Packet(
+            src=src, dst=dst, kind=kind, payload=payload or {}, size_bytes=size_bytes
+        )
+        self._transmit(packet)
+        return packet
+
+    def broadcast(
+        self,
+        src: int,
+        kind: str,
+        payload: Optional[Mapping[str, Any]] = None,
+        *,
+        size_bytes: Optional[int] = None,
+    ) -> Packet:
+        """Queue a local-broadcast frame from ``src``; returns the frame."""
+        packet = Packet(
+            src=src,
+            dst=BROADCAST,
+            kind=kind,
+            payload=payload or {},
+            size_bytes=size_bytes,
+        )
+        self._transmit(packet)
+        return packet
+
+    def _transmit(self, packet: Packet) -> None:
+        mac = self.macs.get(packet.src)
+        if mac is None:
+            raise SimulationError(f"unknown source node {packet.src}")
+        self.counters.record_tx(packet.src, packet.kind, packet.size_bytes)
+        self.energy.account_tx(packet.src, packet.size_bytes)
+        mac.send(packet)
+
+    # -- receiving ----------------------------------------------------------------
+
+    def register_handler(self, node_id: int, kind: str, handler: PacketHandler) -> None:
+        """Route addressed ``kind`` frames at ``node_id`` to ``handler``."""
+        self.nodes[node_id].register_handler(kind, handler)
+
+    def register_overhear(self, node_id: int, listener: OverhearListener) -> None:
+        """Attach a promiscuous listener at ``node_id`` (sees all frames)."""
+        self.nodes[node_id].register_overhear(listener)
+
+    def neighbors(self, node_id: int) -> List[int]:
+        """Nodes within radio range of ``node_id``."""
+        return list(self.adjacency[node_id])
+
+    def degree(self, node_id: int) -> int:
+        """Number of radio neighbors of ``node_id``."""
+        return len(self.adjacency[node_id])
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def fail_node(self, node_id: int) -> None:
+        """Crash-stop a sensor (fail-silent): it neither transmits nor
+        receives from the moment of the call. Used by failure-injection
+        tests and robustness experiments."""
+        self.medium.kill_node(node_id)
+
+    def is_failed(self, node_id: int) -> bool:
+        """True if the node was crash-stopped."""
+        return self.medium.is_dead(node_id)
+
+    def reset_accounting(self) -> None:
+        """Zero byte and energy counters (new round, same network)."""
+        self.counters.reset()
+        self.energy.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"NetworkStack(nodes={self.deployment.num_nodes}, "
+            f"range={self.radio.range_m}m)"
+        )

@@ -1,0 +1,123 @@
+"""Event objects for the discrete-event kernel.
+
+Events are ordered by ``(time, priority, seq)``. The monotonically
+increasing sequence number guarantees a *stable, deterministic* order for
+events scheduled at the same instant with the same priority — essential
+for reproducible wireless simulations where many receptions land on the
+same tick.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import EventCancelledError
+
+#: Default priority for ordinary events. Lower values run first.
+PRIORITY_NORMAL = 0
+#: Priority for bookkeeping events that must run before normal ones.
+PRIORITY_HIGH = -10
+#: Priority for events that must observe all normal events at an instant.
+PRIORITY_LOW = 10
+
+_SEQ = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback, orderable by ``(time, priority, seq)``.
+
+    Attributes
+    ----------
+    time:
+        Absolute virtual time at which the callback fires.
+    priority:
+        Tie-break among events at the same time; lower runs first.
+    seq:
+        Monotone sequence number; final tie-break, assigned automatically.
+    callback:
+        Zero-argument callable invoked when the event fires.
+    name:
+        Optional label used in traces and error messages.
+    """
+
+    time: float
+    priority: int = PRIORITY_NORMAL
+    seq: int = field(default_factory=lambda: next(_SEQ))
+    callback: Optional[Callable[[], Any]] = field(default=None, compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def fire(self) -> None:
+        """Invoke the callback unless the event was cancelled."""
+        if self.cancelled:
+            return
+        if self.callback is not None:
+            self.callback()
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when popped."""
+        self.cancelled = True
+
+
+class EventHandle:
+    """Caller-facing handle to a scheduled event.
+
+    Wraps an :class:`Event` and exposes cancellation and introspection
+    without leaking the kernel's heap entry. Handles are single-use: a
+    handle for a fired event reports :attr:`fired` and refuses ``cancel``.
+    """
+
+    __slots__ = ("_event", "_fired")
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+        self._fired = False
+
+    @property
+    def time(self) -> float:
+        """Absolute virtual time the event is (or was) scheduled for."""
+        return self._event.time
+
+    @property
+    def name(self) -> str:
+        """Label given at scheduling time (may be empty)."""
+        return self._event.name
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` was called before the event fired."""
+        return self._event.cancelled
+
+    @property
+    def fired(self) -> bool:
+        """True once the kernel has executed the event's callback."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still waiting in the queue."""
+        return not (self._fired or self._event.cancelled)
+
+    def cancel(self) -> None:
+        """Cancel the event.
+
+        Raises
+        ------
+        EventCancelledError
+            If the event already fired; cancelling twice is a no-op.
+        """
+        if self._fired:
+            raise EventCancelledError(
+                f"event {self._event.name or self._event.seq} already fired"
+            )
+        self._event.cancel()
+
+    def _mark_fired(self) -> None:
+        self._fired = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "fired" if self.fired else "pending"
+        return f"EventHandle(t={self.time:.6f}, name={self.name!r}, {state})"

@@ -1,0 +1,115 @@
+"""Timer helpers layered on the event kernel.
+
+The raw kernel schedules one-shot callbacks; protocols usually want
+recurring timers (epoch ticks, HELLO rebroadcast windows) and cancellable
+delayed calls. Both are provided here, built only on the public kernel API
+so they stay trivially correct.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import KernelStateError
+from repro.sim.events import EventHandle
+from repro.sim.kernel import Simulator
+
+
+def delayed_call(
+    sim: Simulator,
+    delay: float,
+    callback: Callable[[], None],
+    *,
+    name: str = "",
+) -> EventHandle:
+    """Schedule ``callback`` after ``delay`` seconds; thin alias of
+    :meth:`Simulator.schedule` that reads better at protocol call sites."""
+    return sim.schedule(delay, callback, name=name)
+
+
+class PeriodicTimer:
+    """A recurring timer that fires ``callback`` every ``interval`` seconds.
+
+    The timer reschedules itself *after* each callback, so a callback that
+    stops the timer prevents further firings. A maximum firing count can
+    bound the timer's lifetime.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to schedule on.
+    interval:
+        Seconds between firings; must be positive.
+    callback:
+        Zero-argument callable invoked on each tick.
+    max_fires:
+        Optional upper bound on total firings.
+    name:
+        Label used for the underlying events.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        max_fires: Optional[int] = None,
+        name: str = "timer",
+    ) -> None:
+        if interval <= 0:
+            raise KernelStateError(f"timer interval must be positive, got {interval!r}")
+        if max_fires is not None and max_fires < 0:
+            raise KernelStateError(f"max_fires must be >= 0, got {max_fires!r}")
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._max_fires = max_fires
+        self._name = name
+        self._fires = 0
+        self._handle: Optional[EventHandle] = None
+        self._stopped = False
+
+    @property
+    def fires(self) -> int:
+        """Number of times the callback has run."""
+        return self._fires
+
+    @property
+    def running(self) -> bool:
+        """True while the timer has a pending event."""
+        return self._handle is not None and self._handle.pending
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Arm the timer; first firing after ``initial_delay`` (default:
+        one full interval). Restarting a stopped timer is allowed."""
+        self._stopped = False
+        if self._max_fires is not None and self._fires >= self._max_fires:
+            return
+        delay = self._interval if initial_delay is None else initial_delay
+        self._handle = self._sim.schedule(delay, self._tick, name=self._name)
+
+    def stop(self) -> None:
+        """Disarm the timer; pending firing (if any) is cancelled."""
+        self._stopped = True
+        if self._handle is not None and self._handle.pending:
+            self._handle.cancel()
+        self._handle = None
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self._fires += 1
+        self._callback()
+        if self._stopped:
+            return
+        if self._max_fires is not None and self._fires >= self._max_fires:
+            self._handle = None
+            return
+        self._handle = self._sim.schedule(self._interval, self._tick, name=self._name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PeriodicTimer(name={self._name!r}, interval={self._interval}, "
+            f"fires={self._fires}, running={self.running})"
+        )

@@ -1,0 +1,119 @@
+"""Structured trace logging for simulation runs.
+
+A :class:`TraceLog` collects :class:`TraceRecord` entries — ``(time,
+category, message, fields)`` — that protocols emit at interesting points
+(transmissions, collisions, cluster elections, integrity alarms...).
+Tracing is disabled by default and is designed to cost one attribute check
+per call when off, so protocol code can trace unconditionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes
+    ----------
+    time:
+        Virtual time of the emitting event.
+    category:
+        Dotted category, e.g. ``"mac.collision"`` or ``"icpda.alarm"``.
+    message:
+        Human-readable one-liner.
+    fields:
+        Structured payload for programmatic assertions in tests.
+    """
+
+    time: float
+    category: str
+    message: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def matches(self, prefix: str) -> bool:
+        """True if the record's category equals ``prefix`` or is nested
+        beneath it (``"mac"`` matches ``"mac.collision"``)."""
+        return self.category == prefix or self.category.startswith(prefix + ".")
+
+
+class TraceLog:
+    """Append-only log of :class:`TraceRecord` entries with filtering.
+
+    Parameters
+    ----------
+    enabled:
+        When False (the default for production runs), :meth:`emit` is a
+        near-no-op.
+    categories:
+        Optional whitelist of category prefixes; when set, only matching
+        records are kept.
+    capacity:
+        Optional maximum record count; the oldest records are dropped once
+        exceeded (simple ring behaviour for long soak runs).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        categories: Optional[List[str]] = None,
+        capacity: Optional[int] = None,
+    ) -> None:
+        self.enabled = enabled
+        self._categories = list(categories) if categories else None
+        self._capacity = capacity
+        self._records: List[TraceRecord] = []
+        self._clock: Callable[[], float] = lambda: 0.0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the time source (normally ``lambda: sim.now``)."""
+        self._clock = clock
+
+    def emit(self, category: str, message: str = "", **fields: Any) -> None:
+        """Record an entry if tracing is enabled and the category passes
+        the whitelist."""
+        if not self.enabled:
+            return
+        if self._categories is not None and not any(
+            category == c or category.startswith(c + ".") for c in self._categories
+        ):
+            return
+        self._records.append(
+            TraceRecord(time=self._clock(), category=category, message=message, fields=fields)
+        )
+        if self._capacity is not None and len(self._records) > self._capacity:
+            del self._records[: len(self._records) - self._capacity]
+
+    # -- querying ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def records(self, prefix: Optional[str] = None) -> List[TraceRecord]:
+        """All records, optionally filtered by category prefix."""
+        if prefix is None:
+            return list(self._records)
+        return [r for r in self._records if r.matches(prefix)]
+
+    def count(self, prefix: str) -> int:
+        """Number of records under a category prefix."""
+        return sum(1 for r in self._records if r.matches(prefix))
+
+    def last(self, prefix: Optional[str] = None) -> Optional[TraceRecord]:
+        """Most recent record (under ``prefix`` if given), or None."""
+        if prefix is None:
+            return self._records[-1] if self._records else None
+        for record in reversed(self._records):
+            if record.matches(prefix):
+                return record
+        return None
+
+    def clear(self) -> None:
+        """Drop all records (counters in kernel stats are unaffected)."""
+        self._records.clear()

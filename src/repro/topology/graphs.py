@@ -1,0 +1,130 @@
+"""Connectivity-graph construction and tree derivation.
+
+Converts a geometric :class:`~repro.topology.deploy.Deployment` into the
+unit-disk graph the protocols run on, and provides the offline BFS tree
+builder used by analysis code (the *distributed* tree construction lives
+in :mod:`repro.aggregation.tree` and runs on the simulator).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import networkx as nx
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.errors import DisconnectedNetworkError
+from repro.topology.deploy import Deployment
+
+
+def neighbors_within_range(deployment: Deployment) -> Dict[int, List[int]]:
+    """Adjacency lists of the unit-disk graph, computed with a KD-tree.
+
+    Returns a dict mapping each node id to the sorted list of node ids
+    within radio range (excluding itself).
+    """
+    tree = cKDTree(deployment.positions)
+    pairs = tree.query_pairs(r=deployment.radio_range, output_type="ndarray")
+    adjacency: Dict[int, List[int]] = {i: [] for i in range(deployment.num_nodes)}
+    for a, b in pairs:
+        adjacency[int(a)].append(int(b))
+        adjacency[int(b)].append(int(a))
+    for node in adjacency:
+        adjacency[node].sort()
+    return adjacency
+
+
+def connectivity_graph(deployment: Deployment) -> nx.Graph:
+    """The unit-disk graph as a :class:`networkx.Graph`.
+
+    Nodes carry a ``pos`` attribute; edges carry their Euclidean ``length``.
+    """
+    graph = nx.Graph()
+    for node in range(deployment.num_nodes):
+        graph.add_node(node, pos=deployment.position(node))
+    adjacency = neighbors_within_range(deployment)
+    for node, neighbors in adjacency.items():
+        for other in neighbors:
+            if node < other:
+                graph.add_edge(node, other, length=deployment.distance(node, other))
+    return graph
+
+
+def largest_component(graph: nx.Graph) -> Set[int]:
+    """Node set of the largest connected component."""
+    if graph.number_of_nodes() == 0:
+        return set()
+    return set(max(nx.connected_components(graph), key=len))
+
+
+def is_connected_to(graph: nx.Graph, root: int) -> Set[int]:
+    """All nodes reachable from ``root`` (including ``root``)."""
+    if root not in graph:
+        return set()
+    return set(nx.node_connected_component(graph, root))
+
+
+def bfs_tree_parents(
+    graph: nx.Graph,
+    root: int,
+    *,
+    require_connected: bool = False,
+) -> Dict[int, Optional[int]]:
+    """Parent map of the BFS tree rooted at ``root``.
+
+    The root maps to ``None``. Nodes unreachable from the root are absent
+    from the map (or raise if ``require_connected``). Ties between equal-
+    depth parents break toward the smaller node id, matching the
+    deterministic distributed construction.
+
+    Raises
+    ------
+    DisconnectedNetworkError
+        If ``require_connected`` and some node is unreachable.
+    """
+    parents: Dict[int, Optional[int]] = {root: None}
+    frontier = [root]
+    while frontier:
+        next_frontier: List[int] = []
+        for node in frontier:
+            for neighbor in sorted(graph.neighbors(node)):
+                if neighbor not in parents:
+                    parents[neighbor] = node
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    if require_connected and len(parents) != graph.number_of_nodes():
+        missing = graph.number_of_nodes() - len(parents)
+        raise DisconnectedNetworkError(
+            f"{missing} node(s) unreachable from root {root}"
+        )
+    return parents
+
+
+def tree_depths(parents: Dict[int, Optional[int]]) -> Dict[int, int]:
+    """Depth of each node in a parent map (root depth 0)."""
+    depths: Dict[int, int] = {}
+
+    def depth_of(node: int) -> int:
+        if node in depths:
+            return depths[node]
+        parent = parents[node]
+        value = 0 if parent is None else depth_of(parent) + 1
+        depths[node] = value
+        return value
+
+    for node in parents:
+        depth_of(node)
+    return depths
+
+
+def tree_children(parents: Dict[int, Optional[int]]) -> Dict[int, List[int]]:
+    """Invert a parent map into sorted child lists (every node has an
+    entry, leaves map to an empty list)."""
+    children: Dict[int, List[int]] = {node: [] for node in parents}
+    for node, parent in parents.items():
+        if parent is not None:
+            children[parent].append(node)
+    for node in children:
+        children[node].sort()
+    return children

@@ -1,0 +1,80 @@
+"""Tests for the attack-scenario drivers."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.pollution import TamperStrategy
+from repro.attacks.scenario import AttackScenario, run_detection_trials
+from repro.core.config import IcpdaConfig
+from repro.errors import ReproError
+from repro.topology.deploy import uniform_deployment
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    deployment = uniform_deployment(
+        110, field_size=260.0, radio_range=50.0, rng=np.random.default_rng(41)
+    )
+    return AttackScenario(deployment, IcpdaConfig(), seed=41)
+
+
+class TestCandidateSelection:
+    def test_head_candidates_are_completed_heads(self, scenario):
+        candidates = scenario.candidate_attackers(role="head")
+        assert candidates
+        assert 0 not in candidates
+
+    def test_relay_candidates_disjoint_from_heads(self, scenario):
+        heads = set(scenario.candidate_attackers(role="head"))
+        relays = set(scenario.candidate_attackers(role="relay"))
+        assert not (heads & relays)
+        assert 0 not in relays
+
+    def test_relays_lie_on_tree_paths(self, scenario):
+        from repro.core.protocol import IcpdaProtocol
+
+        protocol = IcpdaProtocol(
+            scenario.deployment, scenario.config, seed=scenario.seed
+        )
+        tree = protocol.setup()
+        relays = scenario.candidate_attackers(role="relay")
+        for relay in relays:
+            assert relay in tree.parents  # tree-attached by construction
+
+    def test_invalid_role_rejected(self, scenario):
+        with pytest.raises(ReproError):
+            scenario.candidate_attackers(role="bystander")
+
+
+class TestReadingsDefaults:
+    def test_generated_readings_cover_all_sensors(self, scenario):
+        assert set(scenario.readings) == set(
+            range(1, scenario.deployment.num_nodes)
+        )
+
+    def test_explicit_readings_respected(self):
+        deployment = uniform_deployment(
+            50, field_size=200.0, rng=np.random.default_rng(1)
+        )
+        readings = {i: 1.0 for i in range(1, 50)}
+        scenario = AttackScenario(
+            deployment, IcpdaConfig(), readings=readings, seed=1
+        )
+        assert scenario.readings is readings
+
+
+class TestDetectionTrials:
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ReproError):
+            run_detection_trials(trials=0)
+
+    def test_paired_trials_counted(self):
+        stats, attacked, clean = run_detection_trials(
+            num_nodes=110,
+            num_attackers=1,
+            strategy=TamperStrategy.NAIVE_TOTAL,
+            trials=2,
+            base_seed=5,
+        )
+        assert stats.attacked_rounds == len(attacked) == 2
+        assert stats.clean_rounds == len(clean) == 2

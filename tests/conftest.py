@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite.
+
+Networks in tests are deliberately small (40-150 nodes) and seeded so
+every test is deterministic and the full suite stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import IcpdaConfig
+from repro.net.stack import NetworkStack
+from repro.sim.kernel import Simulator
+from repro.topology.deploy import uniform_deployment
+
+
+@pytest.fixture
+def rng():
+    """A fresh seeded generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def sim():
+    """A fresh simulator with a fixed seed."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def small_deployment(rng):
+    """A dense 60-node network on a small field (degree ~14)."""
+    return uniform_deployment(
+        60, field_size=200.0, radio_range=50.0, rng=rng
+    )
+
+
+@pytest.fixture
+def small_stack(sim, small_deployment):
+    """A wired radio stack over the small deployment."""
+    return NetworkStack(sim, small_deployment)
+
+
+@pytest.fixture
+def default_config():
+    """The default protocol configuration."""
+    return IcpdaConfig()
+
+
+def make_line_deployment(num_nodes: int, spacing: float = 40.0):
+    """A deterministic 1-D chain deployment: node i at (i*spacing, 0).
+
+    Radio range 50 with spacing 40 gives a pure line graph — handy for
+    exact multi-hop assertions.
+    """
+    import numpy as np
+
+    from repro.topology.deploy import Deployment
+
+    positions = np.array([[i * spacing, 0.0] for i in range(num_nodes)])
+    return Deployment(
+        positions=positions,
+        field_size=max(200.0, num_nodes * spacing),
+        radio_range=50.0,
+        kind="line",
+    )
+
+
+@pytest.fixture
+def line5():
+    """A 5-node chain: 0-1-2-3-4."""
+    return make_line_deployment(5)

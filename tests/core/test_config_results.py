@@ -1,0 +1,99 @@
+"""Unit tests for protocol configuration and result records."""
+
+import pytest
+
+from repro.core.config import IcpdaConfig
+from repro.core.results import AlarmReason, AlarmRecord, RoundResult, Verdict
+from repro.errors import ConfigError
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        IcpdaConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"p_c": 0.0},
+            {"p_c": 1.5},
+            {"k_min": 1},
+            {"k_min": 5, "k_max": 4},
+            {"share_retries": -1},
+            {"ack_timeout_s": 0.0},
+            {"count_threshold": -1},
+            {"alarm_quorum_value": 0},
+            {"alarm_quorum_drop": 0},
+            {"witness_fraction": 0.0},
+            {"witness_fraction": 1.5},
+            {"slot_s": 0.0},
+            {"window_exchange_s": -1.0},
+            {"fixed_point_scale": 0},
+            {"integrity_mode": "partial"},
+            {"election_mode": "magic"},
+            {"adaptive_target_k": 1},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            IcpdaConfig(**kwargs)
+
+    def test_restriction_roundtrip(self):
+        config = IcpdaConfig().with_restriction((5, 3, 9))
+        assert config.restrict_to_clusters == (3, 5, 9)
+        assert config.without_restriction().restrict_to_clusters is None
+
+    def test_config_is_frozen(self):
+        config = IcpdaConfig()
+        with pytest.raises(Exception):
+            config.p_c = 0.5
+
+
+class TestVerdict:
+    def test_only_accepted_is_accepted(self):
+        assert Verdict.ACCEPTED.accepted
+        assert not Verdict.REJECTED_ALARM.accepted
+        assert not Verdict.REJECTED_MISMATCH.accepted
+        assert not Verdict.INSUFFICIENT.accepted
+
+
+class TestAlarmRecord:
+    def test_dedup_key_distinguishes_reason_and_cluster(self):
+        a = AlarmRecord(1, 2, AlarmReason.DROPPED, cluster=7)
+        b = AlarmRecord(1, 2, AlarmReason.RELAY_TAMPERED, cluster=7)
+        c = AlarmRecord(1, 2, AlarmReason.DROPPED, cluster=8)
+        assert a.dedup_key() != b.dedup_key()
+        assert a.dedup_key() != c.dedup_key()
+
+    def test_dedup_key_ignores_detail(self):
+        a = AlarmRecord(1, 2, AlarmReason.DROPPED, detail="x", cluster=7)
+        b = AlarmRecord(1, 2, AlarmReason.DROPPED, detail="y", cluster=7)
+        assert a.dedup_key() == b.dedup_key()
+
+
+class TestRoundResult:
+    def make(self, verdict, suspects=None):
+        return RoundResult(
+            verdict=verdict,
+            value=1.0,
+            raw_totals=(100,),
+            contributors=10,
+            census_participants=10,
+            true_value=1.0,
+            accuracy=1.0,
+            suspect_counts=suspects or {},
+        )
+
+    def test_detected_pollution(self):
+        assert self.make(Verdict.REJECTED_ALARM).detected_pollution
+        assert self.make(Verdict.REJECTED_MISMATCH).detected_pollution
+        assert not self.make(Verdict.ACCEPTED).detected_pollution
+        assert not self.make(Verdict.INSUFFICIENT).detected_pollution
+
+    def test_top_suspect(self):
+        result = self.make(
+            Verdict.REJECTED_ALARM, suspects={5: 3, 9: 1, 2: 3}
+        )
+        assert result.top_suspect() == 2  # ties break toward smaller id
+
+    def test_top_suspect_none_without_alarms(self):
+        assert self.make(Verdict.ACCEPTED).top_suspect() is None

@@ -1,0 +1,97 @@
+"""Tests for the integrity_mode switch (witnessed vs privacy-only)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.pollution import PollutionAttack, TamperStrategy
+from repro.core.config import IcpdaConfig
+from repro.core.protocol import IcpdaProtocol
+from repro.core.results import Verdict
+from repro.topology.deploy import uniform_deployment
+
+
+@pytest.fixture(scope="module")
+def rig():
+    deployment = uniform_deployment(
+        120, field_size=270.0, radio_range=50.0, rng=np.random.default_rng(61)
+    )
+    readings = {i: 10.0 for i in range(1, 120)}
+    scout = IcpdaProtocol(deployment, IcpdaConfig(), seed=61)
+    scout.setup()
+    scout.run_round(readings)
+    attacker = [
+        h for h in scout.last_exchange.completed_clusters if h != 0
+    ][0]
+    return deployment, readings, attacker
+
+
+def run(rig, mode, attack=None):
+    deployment, readings, _ = rig
+    protocol = IcpdaProtocol(
+        deployment,
+        IcpdaConfig(integrity_mode=mode),
+        seed=61,
+        attack_plan=attack,
+    )
+    protocol.setup()
+    return protocol.run_round(readings), protocol
+
+
+class TestPrivacyOnlyMode:
+    def test_clean_round_accepted_both_modes(self, rig):
+        for mode in ("witnessed", "none"):
+            result, _ = run(rig, mode)
+            assert result.verdict is Verdict.ACCEPTED, mode
+
+    def test_privacy_only_emits_fewer_bytes(self, rig):
+        _, witnessed = run(rig, "witnessed")
+        _, none = run(rig, "none")
+        assert none.total_bytes() < witnessed.total_bytes()
+
+    def test_privacy_only_reports_are_not_itemized(self, rig):
+        deployment, readings, _ = rig
+        protocol = IcpdaProtocol(
+            deployment, IcpdaConfig(integrity_mode="none"), seed=61
+        )
+        protocol.setup()
+        captured = []
+        original_send = protocol.stack.send
+
+        def spying_send(src, dst, kind, payload=None, **kwargs):
+            if kind == "report":
+                captured.append(dict(payload or {}))
+            return original_send(src, dst, kind, payload, **kwargs)
+
+        protocol.stack.send = spying_send
+        protocol.run_round(readings)
+        assert captured
+        for payload in captured:
+            assert "children" not in payload
+            assert "own" not in payload
+
+    def test_tamper_detected_only_with_integrity(self, rig):
+        _, _, attacker = rig
+        attack = PollutionAttack(
+            {attacker}, TamperStrategy.NAIVE_TOTAL, magnitude=1_000_000
+        )
+        witnessed, _ = run(rig, "witnessed", attack=attack)
+        attack2 = PollutionAttack(
+            {attacker}, TamperStrategy.NAIVE_TOTAL, magnitude=1_000_000
+        )
+        none, _ = run(rig, "none", attack=attack2)
+        if attack.acted():
+            assert witnessed.detected_pollution
+        if attack2.acted():
+            assert none.verdict is Verdict.ACCEPTED  # silently wrong
+
+    def test_privacy_preserved_in_both_modes(self, rig):
+        """Shares stay encrypted regardless of the integrity mode."""
+        from repro.attacks.eavesdrop import EavesdropAnalysis
+        from repro.crypto.adversary_keys import LinkBreakModel
+
+        for mode in ("witnessed", "none"):
+            _, protocol = run(rig, mode)
+            stats, _ = EavesdropAnalysis(
+                protocol.last_exchange, LinkBreakModel(0.0)
+            ).run()
+            assert stats.disclosed == 0

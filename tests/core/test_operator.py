@@ -1,0 +1,111 @@
+"""Tests for the base-station aggregation service."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.pollution import PollutionAttack, TamperStrategy
+from repro.core.config import IcpdaConfig
+from repro.core.operator import AggregationService
+from repro.core.protocol import IcpdaProtocol
+from repro.errors import ProtocolError
+from repro.topology.deploy import uniform_deployment
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return uniform_deployment(
+        150, field_size=300.0, radio_range=50.0, rng=np.random.default_rng(23)
+    )
+
+
+@pytest.fixture(scope="module")
+def readings(deployment):
+    rng = np.random.default_rng(23)
+    return {
+        i: float(rng.uniform(10, 30)) for i in range(1, deployment.num_nodes)
+    }
+
+
+def pick_attacker(deployment, readings, seed=23, round_id=1):
+    """The head a service's FIRST round will see (round ids start at 1)."""
+    protocol = IcpdaProtocol(deployment, IcpdaConfig(), seed=seed)
+    protocol.setup()
+    protocol.run_round(readings, round_id=round_id)
+    heads = [h for h in protocol.last_exchange.completed_clusters if h != 0]
+    return heads[len(heads) // 2]
+
+
+class TestHonestNetwork:
+    def test_collect_accepts_first_round(self, deployment, readings):
+        service = AggregationService(deployment, seed=23)
+        outcome = service.collect(readings)
+        assert outcome.accepted
+        assert outcome.rounds_used == 1
+        assert outcome.excluded == ()
+        assert outcome.value == pytest.approx(
+            sum(readings.values()), rel=0.25
+        )
+
+    def test_repeated_collections_advance_rounds(self, deployment, readings):
+        service = AggregationService(deployment, seed=23)
+        first = service.collect(readings)
+        second = service.collect(readings)
+        assert first.accepted and second.accepted
+
+
+class TestAttackedNetwork:
+    def test_service_excludes_attacker_and_recovers(self, deployment, readings):
+        attacker = pick_attacker(deployment, readings)
+        attack = PollutionAttack(
+            {attacker}, TamperStrategy.CONSISTENT_OWN, magnitude=100_000
+        )
+        service = AggregationService(
+            deployment, seed=23, attack_plan=attack, max_rounds=4
+        )
+        outcome = service.collect(readings)
+        assert outcome.accepted, [r.verdict for r in outcome.history]
+        assert attacker in outcome.excluded
+        # First round rejected, a later one accepted.
+        assert not outcome.history[0].verdict.accepted
+        assert outcome.history[-1].verdict.accepted
+        # The accepted value is untampered (close to truth).
+        assert outcome.value == pytest.approx(
+            sum(readings.values()), rel=0.25
+        )
+
+    def test_excluded_attacker_cannot_head_again(self, deployment, readings):
+        attacker = pick_attacker(deployment, readings)
+        config = IcpdaConfig().with_excluded_heads((attacker,))
+        protocol = IcpdaProtocol(deployment, config, seed=23)
+        protocol.setup()
+        protocol.run_round(readings, round_id=1)
+        assert attacker not in protocol.last_clustering.clusters
+
+    def test_gives_up_after_max_rounds(self, deployment, readings):
+        """An attacker that can never be attributed (alarms suppressed
+        everywhere is impossible, so simulate via a fresh attacker each
+        exclusion by compromising many heads)."""
+        protocol = IcpdaProtocol(deployment, IcpdaConfig(), seed=23)
+        protocol.setup()
+        protocol.run_round(readings, round_id=1)
+        heads = [
+            h for h in protocol.last_exchange.completed_clusters if h != 0
+        ]
+        attack = PollutionAttack(
+            set(heads), TamperStrategy.CONSISTENT_OWN, magnitude=100_000
+        )
+        service = AggregationService(
+            deployment, seed=23, attack_plan=attack, max_rounds=2
+        )
+        outcome = service.collect(readings)
+        # With (almost) every head compromised the service cannot win in
+        # 2 rounds; it must stop and report honestly.
+        assert not outcome.accepted
+        assert outcome.rounds_used >= 2
+        assert len(outcome.history) == 2
+
+
+class TestValidation:
+    def test_bad_max_rounds_rejected(self, deployment):
+        with pytest.raises(ProtocolError):
+            AggregationService(deployment, max_rounds=0)

@@ -1,0 +1,57 @@
+"""Additional operator-service behaviors: insufficient networks,
+linksec forwarding, exclusion persistence across collect calls."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.pollution import PollutionAttack, TamperStrategy
+from repro.core.config import IcpdaConfig
+from repro.core.operator import AggregationService
+from repro.topology.deploy import uniform_deployment
+
+
+class TestInsufficientNetwork:
+    def test_sparse_network_gives_up_cleanly(self):
+        """A network too sparse to aggregate must terminate with an
+        unaccepted outcome, not loop to max_rounds."""
+        deployment = uniform_deployment(
+            25, field_size=400.0, radio_range=50.0,
+            rng=np.random.default_rng(3),
+        )
+        readings = {i: 1.0 for i in range(1, 25)}
+        service = AggregationService(deployment, seed=3, max_rounds=3)
+        outcome = service.collect(readings)
+        if not outcome.accepted:
+            assert outcome.value is None
+            assert outcome.history
+
+
+class TestExclusionPersistence:
+    def test_exclusions_carry_across_collect_calls(self):
+        deployment = uniform_deployment(
+            130, field_size=280.0, radio_range=50.0,
+            rng=np.random.default_rng(9),
+        )
+        readings = {i: 10.0 for i in range(1, 130)}
+        # Compromise many nodes so the first collect excludes someone.
+        from repro.core.protocol import IcpdaProtocol
+
+        scout = IcpdaProtocol(deployment, IcpdaConfig(), seed=9)
+        scout.setup()
+        scout.run_round(readings, round_id=1)
+        heads = [
+            h for h in scout.last_exchange.completed_clusters if h != 0
+        ]
+        attack = PollutionAttack(
+            {heads[0]}, TamperStrategy.CONSISTENT_OWN, magnitude=50_000
+        )
+        service = AggregationService(
+            deployment, seed=9, attack_plan=attack, max_rounds=4
+        )
+        first = service.collect(readings)
+        excluded_after_first = set(service.excluded)
+        second = service.collect(readings)
+        assert excluded_after_first <= set(service.excluded)
+        if first.accepted and first.excluded:
+            # The second collect need not re-localize the same attacker.
+            assert second.rounds_used <= first.rounds_used

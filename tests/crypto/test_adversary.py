@@ -1,0 +1,77 @@
+"""Unit tests for the adversary link-break model."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.adversary_keys import LinkBreakModel
+from repro.crypto.keys import KeyRing, PairwiseKeyScheme
+from repro.crypto.linksec import Ciphertext
+from repro.crypto.predistribution import RandomPredistributionScheme
+from repro.errors import CryptoError
+
+
+class TestLinkBreakModel:
+    def test_fate_memoized(self):
+        model = LinkBreakModel(0.5, rng=np.random.default_rng(0))
+        first = model.is_broken(1, 2)
+        for _ in range(20):
+            assert model.is_broken(1, 2) == first
+
+    def test_symmetric_links(self):
+        model = LinkBreakModel(0.5, rng=np.random.default_rng(0))
+        assert model.is_broken(1, 2) == model.is_broken(2, 1)
+
+    def test_p_zero_breaks_nothing(self):
+        model = LinkBreakModel(0.0, rng=np.random.default_rng(0))
+        assert not any(model.is_broken(i, i + 1) for i in range(100))
+
+    def test_p_one_breaks_everything(self):
+        model = LinkBreakModel(1.0, rng=np.random.default_rng(0))
+        assert all(model.is_broken(i, i + 1) for i in range(100))
+
+    def test_empirical_rate_matches_p(self):
+        model = LinkBreakModel(0.3, rng=np.random.default_rng(7))
+        broken = sum(model.is_broken(i, i + 1) for i in range(5000))
+        assert broken / 5000 == pytest.approx(0.3, abs=0.03)
+
+    def test_always_broken_links(self):
+        model = LinkBreakModel(0.0, always_broken={(2, 1)})
+        assert model.is_broken(1, 2)
+        assert not model.is_broken(3, 4)
+        assert (1, 2) in model.broken_links()
+
+    def test_can_read_matches_fate(self):
+        model = LinkBreakModel(0.0, always_broken={(1, 2)})
+        ciphertext = Ciphertext(key_id=1, _plaintext="x")
+        assert model.can_read(1, 2, ciphertext)
+        assert not model.can_read(3, 4, ciphertext)
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(CryptoError):
+            LinkBreakModel(-0.1)
+        with pytest.raises(CryptoError):
+            LinkBreakModel(1.1)
+
+
+class TestStructuralConstructions:
+    def test_captured_nodes_break_their_links(self):
+        scheme = PairwiseKeyScheme()
+        links = {(1, 2), (2, 3), (3, 4)}
+        model = LinkBreakModel.from_captured_nodes(scheme, {2}, links)
+        assert model.is_broken(1, 2)
+        assert model.is_broken(2, 3)
+        assert not model.is_broken(3, 4)
+
+    def test_eg_overlap_breaks_shared_key_links(self):
+        scheme = RandomPredistributionScheme(
+            20, 10, rng=np.random.default_rng(4)
+        )
+        scheme.provision_all([1, 2])
+        adversary_ring = KeyRing(scheme.ring(1).as_frozenset())
+        model = LinkBreakModel.from_eg_overlap(
+            scheme, adversary_ring, {(1, 2)}
+        )
+        if scheme.can_secure(1, 2):
+            # The adversary holds node 1's whole ring, so it must hold
+            # whatever key the (1, 2) link uses.
+            assert model.is_broken(1, 2)

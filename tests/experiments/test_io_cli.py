@@ -1,0 +1,105 @@
+"""Tests for result persistence and the CLI runner."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.cli import main
+from repro.experiments.io import diff_rows, load_rows, save_rows
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        rows = [{"nodes": 100, "accuracy": 0.95}, {"nodes": 200, "accuracy": 0.97}]
+        path = save_rows(
+            tmp_path / "x.json", "F4", rows, parameters={"trials": 3}
+        )
+        document = load_rows(path)
+        assert document["experiment"] == "F4"
+        assert document["rows"] == rows
+        assert document["parameters"] == {"trials": 3}
+        assert "library_version" in document
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_rows(tmp_path / "nope.json")
+
+    def test_schema_mismatch_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 999, "experiment": "x", "rows": []}))
+        with pytest.raises(ReproError):
+            load_rows(path)
+
+    def test_unserializable_rows_raise(self, tmp_path):
+        with pytest.raises(ReproError):
+            save_rows(tmp_path / "x.json", "F4", [{"bad": object()}])
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_rows(tmp_path / "deep" / "nested" / "x.json", "T1", [])
+        assert path.exists()
+
+
+class TestDiff:
+    def test_identical_rows_no_diff(self):
+        rows = [{"a": 1.0, "b": "x"}]
+        assert diff_rows(rows, rows) == []
+
+    def test_within_tolerance_no_diff(self):
+        old = [{"accuracy": 0.95}]
+        new = [{"accuracy": 0.96}]
+        assert diff_rows(old, new, rel_tolerance=0.05) == []
+
+    def test_beyond_tolerance_reported(self):
+        old = [{"accuracy": 0.95}]
+        new = [{"accuracy": 0.5}]
+        assert len(diff_rows(old, new)) == 1
+
+    def test_string_fields_compare_exactly(self):
+        assert diff_rows([{"v": "accepted"}], [{"v": "rejected"}])
+
+    def test_row_count_change_reported(self):
+        assert "row count" in diff_rows([{"a": 1}], [])[0]
+
+    def test_field_appearance_reported(self):
+        diffs = diff_rows([{"a": 1}], [{"a": 1, "b": 2}])
+        assert any("appeared" in d for d in diffs)
+
+
+class TestCli:
+    def test_list_exits_zero(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("T1", "F4", "A3"):
+            assert exp_id in out
+
+    def test_unknown_experiment_exits_two(self, capsys):
+        assert main(["run", "ZZ"]) == 2
+
+    def test_quick_run_t1(self, tmp_path, capsys):
+        assert main(["run", "T1", "--quick", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "mean_degree" in out
+        assert (tmp_path / "t1.json").exists()
+
+    def test_run_all_executes_every_entry(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """run-all iterates the whole registry and saves one artifact
+        per experiment (registry stubbed to keep the test fast)."""
+        import repro.experiments.cli as cli
+
+        fake = {
+            "X1": ("first", lambda: [{"v": 1}], lambda: [{"v": 1}]),
+            "X2": ("second", lambda: [{"v": 2}], lambda: [{"v": 2}]),
+        }
+        monkeypatch.setattr(cli, "_registry", lambda: fake)
+        assert cli.main(["run-all", "--quick", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "=== X1 ===" in out and "=== X2 ===" in out
+        assert (tmp_path / "x1.json").exists()
+        assert (tmp_path / "x2.json").exists()
+
+    def test_run_all_rejects_unknown_flags(self):
+        with pytest.raises(SystemExit):
+            main(["run-all", "--bogus-flag"])

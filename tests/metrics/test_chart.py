@@ -1,0 +1,60 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.metrics.report import Series, render_chart
+
+
+def make_series(points):
+    series = Series("test")
+    for x, y in points:
+        series.add(x, y)
+    return series
+
+
+class TestRenderChart:
+    def test_bar_lengths_proportional(self):
+        chart = render_chart(
+            make_series([(1, 10.0), (2, 20.0)]), width=20
+        )
+        lines = chart.splitlines()
+        assert lines[0].count("#") < lines[1].count("#")
+
+    def test_title_included(self):
+        chart = render_chart(make_series([(1, 1.0)]), title="My Figure")
+        assert chart.splitlines()[0] == "My Figure"
+
+    def test_values_printed(self):
+        chart = render_chart(make_series([(100, 0.95)]))
+        assert "100" in chart
+        assert "0.95" in chart
+
+    def test_log_scale_spreads_decades(self):
+        chart = render_chart(
+            make_series([(1, 1e-4), (2, 1e-2), (3, 1.0)]),
+            width=40,
+            log_scale=True,
+        )
+        lines = chart.splitlines()
+        bars = [line.count("#") for line in lines]
+        # Decade spacing should be roughly even on a log axis.
+        assert bars[0] < bars[1] < bars[2]
+        assert abs((bars[2] - bars[1]) - (bars[1] - bars[0])) <= 3
+
+    def test_log_scale_nonpositive_renders_empty_bar(self):
+        chart = render_chart(
+            make_series([(1, 0.0), (2, 1.0)]), log_scale=True
+        )
+        first = chart.splitlines()[0]
+        assert "#" not in first
+
+    def test_empty_series(self):
+        assert "empty" in render_chart(Series("x"))
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart(make_series([(1, 1.0)]), width=2)
+
+    def test_constant_series_does_not_divide_by_zero(self):
+        chart = render_chart(make_series([(1, 5.0), (2, 5.0)]))
+        assert chart.count("\n") == 1

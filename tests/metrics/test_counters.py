@@ -1,0 +1,68 @@
+"""Unit tests for message counters."""
+
+from repro.metrics.counters import MessageCounters
+
+
+class TestRollups:
+    def test_totals(self):
+        counters = MessageCounters()
+        counters.record_tx(1, "hello", 20)
+        counters.record_tx(1, "report", 40)
+        counters.record_tx(2, "hello", 20)
+        assert counters.total_messages == 3
+        assert counters.total_bytes == 80
+
+    def test_per_node(self):
+        counters = MessageCounters()
+        counters.record_tx(1, "a", 10)
+        counters.record_tx(1, "b", 15)
+        counters.record_tx(2, "a", 10)
+        counters.record_rx(2, "a", 10)
+        assert counters.node_tx_bytes(1) == 25
+        assert counters.node_tx_messages(1) == 2
+        assert counters.node_rx_bytes(2) == 10
+        assert counters.node_tx_bytes(99) == 0
+
+    def test_by_kind_sorted_by_bytes(self):
+        counters = MessageCounters()
+        counters.record_tx(1, "small", 5)
+        counters.record_tx(1, "big", 500)
+        breakdown = counters.by_kind()
+        assert breakdown[0].kind == "big"
+        assert breakdown[1].kind == "small"
+        assert counters.kind_bytes("big") == 500
+        assert counters.kind_messages("small") == 1
+
+    def test_messages_per_node(self):
+        counters = MessageCounters()
+        counters.record_tx(1, "a", 1)
+        counters.record_tx(1, "b", 1)
+        counters.record_tx(3, "a", 1)
+        assert counters.messages_per_node() == {1: 2, 3: 1}
+
+    def test_merged(self):
+        a = MessageCounters()
+        a.record_tx(1, "x", 10)
+        b = MessageCounters()
+        b.record_tx(1, "x", 5)
+        b.record_tx(2, "y", 7)
+        merged = a.merged(b)
+        assert merged.total_bytes == 22
+        assert merged.node_tx_bytes(1) == 15
+        # originals untouched
+        assert a.total_bytes == 10
+
+    def test_reset(self):
+        counters = MessageCounters()
+        counters.record_tx(1, "x", 10)
+        counters.reset()
+        assert counters.total_messages == 0
+
+    def test_summary(self):
+        counters = MessageCounters()
+        counters.record_tx(1, "x", 10)
+        assert counters.summary("tag") == {
+            "messages": 1,
+            "bytes": 10,
+            "label": "tag",
+        }

@@ -1,0 +1,126 @@
+"""Unit tests for accuracy, privacy, detection stats and rendering."""
+
+import math
+
+import pytest
+
+from repro.errors import AggregationError, ReproError
+from repro.metrics.accuracy import (
+    accuracy_ratio,
+    count_accuracy,
+    summarize_accuracy,
+)
+from repro.metrics.detection import DetectionStats
+from repro.metrics.privacy import DisclosureStats
+from repro.metrics.report import Series, render_series, render_table
+
+
+class TestAccuracy:
+    def test_ratio(self):
+        assert accuracy_ratio(95.0, 100.0) == pytest.approx(0.95)
+
+    def test_zero_truth_is_nan(self):
+        assert math.isnan(accuracy_ratio(5.0, 0.0))
+
+    def test_nan_inputs_rejected(self):
+        with pytest.raises(AggregationError):
+            accuracy_ratio(float("nan"), 1.0)
+
+    def test_count_accuracy(self):
+        assert count_accuracy(90, 100) == pytest.approx(0.9)
+        with pytest.raises(AggregationError):
+            count_accuracy(5, 0)
+
+    def test_summarize_with_rejections(self):
+        summary = summarize_accuracy([0.9, 1.0, None, 0.8])
+        assert summary.trials == 3
+        assert summary.rejected == 1
+        assert summary.mean == pytest.approx(0.9)
+        assert summary.minimum == pytest.approx(0.8)
+
+    def test_summarize_all_rejected(self):
+        summary = summarize_accuracy([None, None])
+        assert summary.trials == 0
+        assert summary.rejected == 2
+        assert math.isnan(summary.mean)
+
+
+class TestDisclosure:
+    def test_from_counts(self):
+        stats = DisclosureStats.from_counts(5, 100)
+        assert stats.probability == pytest.approx(0.05)
+        assert stats.stderr > 0
+        assert stats.upper_bound() > 0.05
+
+    def test_zero_exposed(self):
+        stats = DisclosureStats.from_counts(0, 0)
+        assert stats.probability == 0.0
+
+    def test_inconsistent_counts_rejected(self):
+        with pytest.raises(ReproError):
+            DisclosureStats.from_counts(5, 3)
+        with pytest.raises(ReproError):
+            DisclosureStats.from_counts(-1, 3)
+
+    def test_pooled(self):
+        parts = [
+            DisclosureStats.from_counts(1, 10),
+            DisclosureStats.from_counts(3, 10),
+        ]
+        pooled = DisclosureStats.pooled(parts)
+        assert pooled.disclosed == 4
+        assert pooled.exposed == 20
+
+
+class TestDetectionStats:
+    def test_ratios(self):
+        stats = DetectionStats(
+            attacked_rounds=10, detected=9, clean_rounds=10, false_alarms=1
+        )
+        assert stats.detection_ratio == pytest.approx(0.9)
+        assert stats.false_alarm_ratio == pytest.approx(0.1)
+
+    def test_no_attacked_rounds_is_nan(self):
+        stats = DetectionStats(0, 0, 5, 0)
+        assert math.isnan(stats.detection_ratio)
+
+    def test_inconsistent_rejected(self):
+        with pytest.raises(ReproError):
+            DetectionStats(1, 2, 0, 0)
+        with pytest.raises(ReproError):
+            DetectionStats(1, -1, 0, 0)
+
+
+class TestRendering:
+    def test_table_alignment_and_missing(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10}]
+        text = render_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "-" in lines[-1]  # missing cell placeholder
+
+    def test_empty_table(self):
+        assert "empty" in render_table([])
+
+    def test_column_order_override(self):
+        rows = [{"a": 1, "b": 2}]
+        text = render_table(rows, columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_series_join(self):
+        a = Series("tag")
+        a.add(100, 1.0)
+        a.add(200, 2.0)
+        b = Series("icpda")
+        b.add(200, 3.0)
+        text = render_series([a, b], x_label="nodes")
+        assert "tag" in text and "icpda" in text
+        assert len(a) == 2
+
+    def test_float_formatting(self):
+        rows = [{"v": 0.000012345}, {"v": float("nan")}, {"v": 123456.0}]
+        text = render_table(rows)
+        assert "e-" in text  # tiny value in scientific notation
+        assert "nan" in text

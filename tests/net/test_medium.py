@@ -1,0 +1,165 @@
+"""Unit tests for the shared medium: propagation, collisions,
+carrier sense, overhearing."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.medium import WirelessMedium
+from repro.net.packet import BROADCAST, Packet
+from repro.net.radio import RadioParams
+from repro.sim.kernel import Simulator
+
+
+def make_medium(adjacency, seed=0, **radio_kwargs):
+    sim = Simulator(seed=seed)
+    medium = WirelessMedium(sim, adjacency, RadioParams(**radio_kwargs))
+    return sim, medium
+
+
+LINE3 = {0: [1], 1: [0, 2], 2: [1]}  # 0-1-2 chain
+TRIANGLE = {0: [1, 2], 1: [0, 2], 2: [0, 1]}
+
+
+class TestDelivery:
+    def test_unicast_reaches_neighbor(self):
+        sim, medium = make_medium(LINE3)
+        got = []
+        medium.attach(1, got.append)
+        medium.transmit(0, Packet(src=0, dst=1, kind="x"))
+        sim.run()
+        assert len(got) == 1
+        assert got[0].src == 0
+
+    def test_frame_not_heard_beyond_range(self):
+        sim, medium = make_medium(LINE3)
+        got = []
+        medium.attach(2, got.append)
+        medium.transmit(0, Packet(src=0, dst=2, kind="x"))
+        sim.run()
+        assert got == []  # 2 is two hops away
+
+    def test_all_neighbors_overhear_unicast(self):
+        sim, medium = make_medium(TRIANGLE)
+        got = {1: [], 2: []}
+        medium.attach(1, got[1].append)
+        medium.attach(2, got[2].append)
+        medium.transmit(0, Packet(src=0, dst=1, kind="x"))
+        sim.run()
+        assert len(got[1]) == 1
+        assert len(got[2]) == 1  # promiscuous delivery to the medium
+
+    def test_broadcast_reaches_all_neighbors(self):
+        sim, medium = make_medium(TRIANGLE)
+        got = []
+        medium.attach(1, got.append)
+        medium.attach(2, got.append)
+        medium.transmit(0, Packet(src=0, dst=BROADCAST, kind="x"))
+        sim.run()
+        assert len(got) == 2
+
+    def test_unknown_sender_rejected(self):
+        _, medium = make_medium(LINE3)
+        with pytest.raises(SimulationError):
+            medium.transmit(99, Packet(src=99, dst=0, kind="x"))
+
+    def test_attach_unknown_node_rejected(self):
+        _, medium = make_medium(LINE3)
+        with pytest.raises(SimulationError):
+            medium.attach(99, lambda p: None)
+
+
+class TestCollisions:
+    def test_overlapping_frames_collide_at_common_receiver(self):
+        sim, medium = make_medium(TRIANGLE)
+        got = []
+        medium.attach(2, got.append)
+        # 0 and 1 transmit simultaneously; both audible at 2.
+        medium.transmit(0, Packet(src=0, dst=2, kind="a"))
+        medium.transmit(1, Packet(src=1, dst=2, kind="b"))
+        sim.run()
+        assert got == []
+        assert medium.stats.collisions >= 2
+
+    def test_non_overlapping_frames_both_arrive(self):
+        sim, medium = make_medium(TRIANGLE)
+        got = []
+        medium.attach(2, got.append)
+        medium.transmit(0, Packet(src=0, dst=2, kind="a"))
+        airtime = medium.radio.airtime(Packet(src=1, dst=2, kind="b"))
+        sim.schedule(
+            airtime * 2,
+            lambda: medium.transmit(1, Packet(src=1, dst=2, kind="b")),
+        )
+        sim.run()
+        assert len(got) == 2
+
+    def test_hidden_terminal_collides_at_middle(self):
+        # 0 and 2 cannot hear each other but both reach 1.
+        sim, medium = make_medium(LINE3)
+        got = []
+        medium.attach(1, got.append)
+        medium.transmit(0, Packet(src=0, dst=1, kind="a"))
+        medium.transmit(2, Packet(src=2, dst=1, kind="b"))
+        sim.run()
+        assert got == []
+
+    def test_half_duplex_sender_misses_incoming(self):
+        sim, medium = make_medium(TRIANGLE)
+        got = []
+        medium.attach(0, got.append)
+        medium.transmit(0, Packet(src=0, dst=1, kind="a"))
+        medium.transmit(1, Packet(src=1, dst=0, kind="b"))
+        sim.run()
+        assert got == []  # 0 was transmitting while 1's frame arrived
+        assert medium.stats.half_duplex_losses >= 1
+
+
+class TestCarrierSense:
+    def test_idle_initially(self):
+        _, medium = make_medium(LINE3)
+        assert not medium.carrier_busy(0)
+
+    def test_busy_during_neighbor_transmission(self):
+        sim, medium = make_medium(LINE3)
+        states = []
+        medium.transmit(0, Packet(src=0, dst=1, kind="x"))
+        sim.schedule(1e-6, lambda: states.append(medium.carrier_busy(1)))
+        sim.run()
+        assert states == [True]
+        assert not medium.carrier_busy(1)  # after completion
+
+    def test_own_transmission_is_busy(self):
+        sim, medium = make_medium(LINE3)
+        states = []
+        medium.transmit(0, Packet(src=0, dst=1, kind="x"))
+        sim.schedule(1e-6, lambda: states.append(medium.carrier_busy(0)))
+        sim.run()
+        assert states == [True]
+
+    def test_not_busy_two_hops_away(self):
+        sim, medium = make_medium(LINE3)
+        states = []
+        medium.transmit(0, Packet(src=0, dst=1, kind="x"))
+        sim.schedule(1e-6, lambda: states.append(medium.carrier_busy(2)))
+        sim.run()
+        assert states == [False]
+
+
+class TestAmbientLoss:
+    def test_loss_probability_one_drops_everything(self):
+        sim, medium = make_medium(LINE3, ambient_loss=0.999999)
+        got = []
+        medium.attach(1, got.append)
+        for _ in range(20):
+            medium.transmit(0, Packet(src=0, dst=1, kind="x"))
+            sim.run()
+        assert len(got) == 0 or medium.stats.ambient_losses > 0
+
+    def test_stats_track_everything(self):
+        sim, medium = make_medium(LINE3)
+        medium.attach(1, lambda p: None)
+        medium.transmit(0, Packet(src=0, dst=1, kind="x"))
+        sim.run()
+        snap = medium.stats.snapshot()
+        assert snap["transmissions"] == 1
+        assert snap["deliveries"] == 1

@@ -1,0 +1,89 @@
+"""Property-based tests for aggregate-function invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation.functions import (
+    AverageAggregate,
+    CountAggregate,
+    SumAggregate,
+    VarianceAggregate,
+)
+
+reading_lists = st.lists(
+    st.floats(min_value=-1000, max_value=1000, allow_nan=False),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestCombineAlgebra:
+    @given(reading_lists)
+    @settings(max_examples=60)
+    def test_combine_is_order_independent(self, readings):
+        """Folding partials in any order gives the same totals —
+        the property that makes in-network aggregation correct."""
+        aggregate = SumAggregate()
+        partials = [aggregate.components(r) for r in readings]
+        forward = aggregate.identity()
+        for p in partials:
+            forward = aggregate.combine(forward, p)
+        backward = aggregate.identity()
+        for p in reversed(partials):
+            backward = aggregate.combine(backward, p)
+        assert forward == backward
+
+    @given(reading_lists, reading_lists)
+    @settings(max_examples=60)
+    def test_combine_of_groups_equals_combine_of_all(self, left, right):
+        aggregate = VarianceAggregate()
+        def fold(values):
+            total = aggregate.identity()
+            for v in values:
+                total = aggregate.combine(total, aggregate.components(v))
+            return total
+
+        merged = aggregate.combine(fold(left), fold(right))
+        assert merged == fold(left + right)
+
+    @given(reading_lists)
+    @settings(max_examples=60)
+    def test_identity_is_neutral(self, readings):
+        aggregate = AverageAggregate()
+        total = aggregate.identity()
+        for r in readings:
+            total = aggregate.combine(total, aggregate.components(r))
+        assert aggregate.combine(total, aggregate.identity()) == total
+
+
+class TestSemantics:
+    @given(reading_lists)
+    @settings(max_examples=60)
+    def test_sum_matches_float_sum(self, readings):
+        # Fixed-point quantization error is bounded by N * 0.5 units.
+        aggregate = SumAggregate()
+        value = aggregate.true_value(readings)
+        assert value == pytest.approx(
+            sum(readings), abs=len(readings) * 0.005 + 1e-9
+        )
+
+    @given(reading_lists)
+    @settings(max_examples=60)
+    def test_count_is_length(self, readings):
+        assert CountAggregate().true_value(readings) == len(readings)
+
+    @given(reading_lists)
+    @settings(max_examples=60)
+    def test_average_within_min_max(self, readings):
+        value = AverageAggregate().true_value(readings)
+        assert min(readings) - 0.01 <= value <= max(readings) + 0.01
+
+    @given(reading_lists)
+    @settings(max_examples=60)
+    def test_variance_non_negative_and_close_to_numpy(self, readings):
+        value = VarianceAggregate().true_value(readings)
+        assert value >= 0.0
+        expected = float(np.var(np.round(np.asarray(readings), 2)))
+        assert value == pytest.approx(expected, abs=max(1e-6, expected * 1e-9))

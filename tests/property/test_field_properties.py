@@ -1,0 +1,104 @@
+"""Property-based tests for prime-field arithmetic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.field import DEFAULT_FIELD, PrimeField
+
+SMALL = PrimeField(10007)
+
+elements = st.integers(min_value=0, max_value=10006)
+nonzero = st.integers(min_value=1, max_value=10006)
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    def test_addition_commutes(self, a, b):
+        assert SMALL.add(a, b) == SMALL.add(b, a)
+
+    @given(elements, elements, elements)
+    def test_addition_associates(self, a, b, c):
+        assert SMALL.add(SMALL.add(a, b), c) == SMALL.add(a, SMALL.add(b, c))
+
+    @given(elements, elements, elements)
+    def test_multiplication_distributes(self, a, b, c):
+        left = SMALL.mul(a, SMALL.add(b, c))
+        right = SMALL.add(SMALL.mul(a, b), SMALL.mul(a, c))
+        assert left == right
+
+    @given(elements)
+    def test_additive_inverse(self, a):
+        assert SMALL.add(a, SMALL.neg(a)) == 0
+
+    @given(nonzero)
+    def test_multiplicative_inverse(self, a):
+        assert SMALL.mul(a, SMALL.inv(a)) == 1
+
+    @given(elements, elements)
+    def test_sub_is_add_neg(self, a, b):
+        assert SMALL.sub(a, b) == SMALL.add(a, SMALL.neg(b))
+
+
+class TestSignedEncoding:
+    @given(st.integers(min_value=-5000, max_value=5000))
+    def test_roundtrip(self, value):
+        assert SMALL.decode_signed(SMALL.encode_signed(value)) == value
+
+    @given(
+        st.integers(min_value=-2500, max_value=2500),
+        st.integers(min_value=-2500, max_value=2500),
+    )
+    def test_homomorphic_addition(self, a, b):
+        encoded = SMALL.add(SMALL.encode_signed(a), SMALL.encode_signed(b))
+        assert SMALL.decode_signed(encoded) == a + b
+
+
+class TestInterpolation:
+    @given(
+        st.lists(elements, min_size=1, max_size=6),
+        st.data(),
+    )
+    @settings(max_examples=50)
+    def test_lagrange_recovers_constant(self, coefficients, data):
+        xs = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=10006),
+                min_size=len(coefficients),
+                max_size=len(coefficients),
+                unique=True,
+            )
+        )
+        points = [(x, SMALL.eval_poly(coefficients, x)) for x in xs]
+        assert SMALL.lagrange_constant_term(points) == coefficients[0]
+
+    @given(st.lists(elements, min_size=1, max_size=5), st.data())
+    @settings(max_examples=50)
+    def test_vandermonde_solve_exact(self, coefficients, data):
+        xs = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=10006),
+                min_size=len(coefficients),
+                max_size=len(coefficients),
+                unique=True,
+            )
+        )
+        points = [(x, SMALL.eval_poly(coefficients, x)) for x in xs]
+        assert SMALL.solve_vandermonde(points) == list(coefficients)
+
+    @given(
+        st.integers(min_value=-(10**15), max_value=10**15),
+        st.integers(min_value=2, max_value=8),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=40)
+    def test_default_field_share_roundtrip(self, secret, degree, rand):
+        """Random masking polynomials over the production field always
+        interpolate back to the secret."""
+        field = DEFAULT_FIELD
+        coefficients = [field.encode_signed(secret)] + [
+            rand.randrange(field.q) for _ in range(degree)
+        ]
+        xs = rand.sample(range(1, 10_000), degree + 1)
+        points = [(x, field.eval_poly(coefficients, x)) for x in xs]
+        recovered = field.decode_signed(field.lagrange_constant_term(points))
+        assert recovered == secret

@@ -1,0 +1,167 @@
+"""Unit tests for the discrete-event kernel."""
+
+import math
+
+import pytest
+
+from repro.errors import KernelStateError, ScheduleInPastError
+from repro.sim.kernel import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self, sim):
+        times = []
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.5]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ScheduleInPastError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_nan_delay_rejected(self, sim):
+        with pytest.raises(ScheduleInPastError):
+            sim.schedule(float("nan"), lambda: None)
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ScheduleInPastError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_zero_delay_fires_at_now(self, sim):
+        sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: None))
+        sim.run()
+        assert sim.stats.fired == 2
+
+    def test_same_time_fifo(self, sim):
+        order = []
+        for label in "abcde":
+            sim.schedule(1.0, lambda label=label: order.append(label))
+        sim.run()
+        assert order == list("abcde")
+
+
+class TestRun:
+    def test_run_until_leaves_future_events(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(2))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.pending_events == 1
+        assert sim.now == 2.0
+
+    def test_run_until_advances_clock_without_events(self, sim):
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_max_events_stops_early(self, sim):
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run(max_events=3)
+        assert sim.stats.fired == 3
+
+    def test_run_is_not_reentrant(self, sim):
+        failures = []
+
+        def reenter():
+            try:
+                sim.run()
+            except KernelStateError:
+                failures.append(True)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert failures == [True]
+
+    def test_run_until_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(KernelStateError):
+            sim.run(until=1.0)
+
+    def test_events_scheduled_during_run_fire(self, sim):
+        order = []
+        sim.schedule(
+            1.0,
+            lambda: (order.append("outer"), sim.schedule(1.0, lambda: order.append("inner")))[0],
+        )
+        sim.run()
+        assert order == ["outer", "inner"]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self, sim):
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.stats.cancelled == 1
+
+    def test_cancel_one_of_many(self, sim):
+        fired = []
+        handles = [
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i)) for i in range(5)
+        ]
+        handles[2].cancel()
+        sim.run()
+        assert fired == [0, 1, 3, 4]
+
+
+class TestStepAndDrain:
+    def test_step_fires_exactly_one(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step()
+        assert fired == [1]
+
+    def test_step_on_empty_returns_false(self, sim):
+        assert not sim.step()
+
+    def test_drain_returns_fired_count(self, sim):
+        for i in range(7):
+            sim.schedule(float(i + 1), lambda: None)
+        assert sim.drain() == 7
+
+    def test_advance_moves_clock(self, sim):
+        sim.advance(3.0)
+        assert sim.now == 3.0
+        with pytest.raises(KernelStateError):
+            sim.advance(-1.0)
+
+
+class TestStats:
+    def test_counters_track_activity(self, sim):
+        h = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h.cancel()
+        sim.run()
+        assert sim.stats.scheduled == 2
+        assert sim.stats.fired == 1
+        assert sim.stats.cancelled == 1
+        assert sim.stats.max_queue_len == 2
+        snap = sim.stats.snapshot()
+        assert snap["scheduled"] == 2
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_streams(self):
+        a = Simulator(seed=9).rng.stream("x").random(5)
+        b = Simulator(seed=9).rng.stream("x").random(5)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = Simulator(seed=9).rng.stream("x").random(5)
+        b = Simulator(seed=10).rng.stream("x").random(5)
+        assert not (a == b).all()

@@ -1,0 +1,76 @@
+"""Unit tests for timers."""
+
+import pytest
+
+from repro.errors import KernelStateError
+from repro.sim.process import PeriodicTimer, delayed_call
+
+
+class TestDelayedCall:
+    def test_fires_after_delay(self, sim):
+        fired = []
+        delayed_call(sim, 2.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.0]
+
+    def test_returns_cancellable_handle(self, sim):
+        fired = []
+        handle = delayed_call(sim, 2.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+
+class TestPeriodicTimer:
+    def test_fires_every_interval(self, sim):
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        timer.start()
+        sim.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_initial_delay_override(self, sim):
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        timer.start(initial_delay=0.5)
+        sim.run(until=2.0)
+        assert ticks == [0.5, 1.5]
+
+    def test_max_fires_bounds_timer(self, sim):
+        timer = PeriodicTimer(sim, 1.0, lambda: None, max_fires=3)
+        timer.start()
+        sim.run(until=100.0)
+        assert timer.fires == 3
+        assert not timer.running
+
+    def test_stop_prevents_future_fires(self, sim):
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        timer.start()
+        sim.schedule(2.5, timer.stop)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_stop_from_callback(self, sim):
+        timer = PeriodicTimer(sim, 1.0, lambda: timer.stop())
+        timer.start()
+        sim.run(until=10.0)
+        assert timer.fires == 1
+
+    def test_restart_after_stop(self, sim):
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        timer.start()
+        sim.run(until=1.5)
+        timer.stop()
+        timer.start()
+        sim.run(until=3.0)
+        assert ticks == [1.0, 2.5]
+
+    def test_invalid_interval_rejected(self, sim):
+        with pytest.raises(KernelStateError):
+            PeriodicTimer(sim, 0.0, lambda: None)
+
+    def test_negative_max_fires_rejected(self, sim):
+        with pytest.raises(KernelStateError):
+            PeriodicTimer(sim, 1.0, lambda: None, max_fires=-1)

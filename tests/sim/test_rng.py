@@ -1,0 +1,66 @@
+"""Unit tests for the named RNG registry."""
+
+import pytest
+
+from repro.sim.rng import RngRegistry
+
+
+class TestStreams:
+    def test_same_name_returns_same_generator(self):
+        registry = RngRegistry(1)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_different_names_independent(self):
+        registry = RngRegistry(1)
+        a = registry.stream("a").random(4)
+        b = registry.stream("b").random(4)
+        assert not (a == b).all()
+
+    def test_creation_order_does_not_matter(self):
+        r1 = RngRegistry(5)
+        r1.stream("first")
+        seq_a = r1.stream("target").random(4)
+        r2 = RngRegistry(5)
+        seq_b = r2.stream("target").random(4)  # created without "first"
+        assert (seq_a == seq_b).all()
+
+    def test_draws_on_one_stream_do_not_shift_another(self):
+        r1 = RngRegistry(5)
+        r1.stream("noise").random(100)
+        a = r1.stream("signal").random(4)
+        r2 = RngRegistry(5)
+        b = r2.stream("signal").random(4)
+        assert (a == b).all()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            RngRegistry(1).stream("")
+
+    def test_streams_bulk_accessor(self):
+        registry = RngRegistry(1)
+        generators = registry.streams(["a", "b", "c"])
+        assert len(generators) == 3
+        assert registry.known_streams() == ["a", "b", "c"]
+
+
+class TestFork:
+    def test_fork_is_deterministic(self):
+        a = RngRegistry(7).fork(3).stream("x").random(4)
+        b = RngRegistry(7).fork(3).stream("x").random(4)
+        assert (a == b).all()
+
+    def test_fork_differs_from_parent(self):
+        parent = RngRegistry(7)
+        fork = parent.fork(3)
+        assert not (
+            parent.stream("x").random(4) == fork.stream("x").random(4)
+        ).all()
+
+    def test_different_salts_differ(self):
+        parent = RngRegistry(7)
+        a = parent.fork(1).stream("x").random(4)
+        b = parent.fork(2).stream("x").random(4)
+        assert not (a == b).all()
+
+    def test_master_seed_exposed(self):
+        assert RngRegistry(99).master_seed == 99

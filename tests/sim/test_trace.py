@@ -1,0 +1,66 @@
+"""Unit tests for the trace log."""
+
+from repro.sim.trace import TraceLog, TraceRecord
+
+
+class TestTraceRecord:
+    def test_matches_exact_category(self):
+        record = TraceRecord(time=0.0, category="mac.drop", message="")
+        assert record.matches("mac.drop")
+
+    def test_matches_prefix(self):
+        record = TraceRecord(time=0.0, category="mac.drop", message="")
+        assert record.matches("mac")
+
+    def test_does_not_match_partial_word(self):
+        record = TraceRecord(time=0.0, category="machine", message="")
+        assert not record.matches("mac")
+
+
+class TestTraceLog:
+    def test_disabled_log_records_nothing(self):
+        log = TraceLog(enabled=False)
+        log.emit("x", "hello")
+        assert len(log) == 0
+
+    def test_emit_records_time_from_clock(self):
+        log = TraceLog()
+        log.bind_clock(lambda: 42.0)
+        log.emit("x", "hello", value=1)
+        record = log.last()
+        assert record.time == 42.0
+        assert record.fields == {"value": 1}
+
+    def test_category_whitelist(self):
+        log = TraceLog(categories=["mac"])
+        log.emit("mac.drop", "kept")
+        log.emit("tree.join", "filtered")
+        assert len(log) == 1
+        assert log.last().category == "mac.drop"
+
+    def test_capacity_ring(self):
+        log = TraceLog(capacity=3)
+        for i in range(10):
+            log.emit("x", str(i))
+        assert len(log) == 3
+        assert [r.message for r in log] == ["7", "8", "9"]
+
+    def test_records_filter_and_count(self):
+        log = TraceLog()
+        log.emit("a.one", "")
+        log.emit("a.two", "")
+        log.emit("b.one", "")
+        assert log.count("a") == 2
+        assert len(log.records("b")) == 1
+        assert log.last("a").category == "a.two"
+
+    def test_last_on_empty_returns_none(self):
+        log = TraceLog()
+        assert log.last() is None
+        assert log.last("anything") is None
+
+    def test_clear(self):
+        log = TraceLog()
+        log.emit("x", "")
+        log.clear()
+        assert len(log) == 0
