@@ -1,0 +1,169 @@
+"""Substrate performance baseline runner.
+
+Times the four substrate hot paths guarded by
+``benchmarks/test_perf_substrate.py`` — kernel event throughput, share
+generation, Lagrange recovery, and one full 250-node iCPDA round — and
+writes the numbers to ``benchmarks/results/BENCH_substrate.json`` so
+later PRs have a machine-readable perf baseline to diff against.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/run_substrate_bench.py
+
+Each metric is measured as best-of-``--repeats`` (default 5) wall-clock
+passes; ops/sec is derived from the best pass, which is the standard
+way to suppress scheduler noise on a shared machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+
+import numpy as np
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+OUTPUT = RESULTS_DIR / "BENCH_substrate.json"
+
+
+def best_of(fn, repeats: int) -> float:
+    """Best wall-clock seconds for one call of ``fn`` over ``repeats``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_kernel_event_throughput() -> tuple[float, int]:
+    """10k chained schedule-and-fire events; returns (seconds, events)."""
+    from repro.sim.kernel import Simulator
+
+    sim = Simulator(seed=0)
+    count = 0
+
+    def tick():
+        nonlocal count
+        count += 1
+        if count < 10_000:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.0, tick)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    assert count == 10_000
+    return elapsed, count
+
+
+def _share_fixture():
+    from repro.core.field import DEFAULT_FIELD
+    from repro.core.shares import generate_share_bundles, seed_for_node
+
+    field = DEFAULT_FIELD
+    rng = np.random.default_rng(0)
+    members = {i: seed_for_node(i) for i in range(1, 7)}
+    return field, rng, members, generate_share_bundles
+
+
+def bench_share_generation(iterations: int = 2000) -> tuple[float, int]:
+    """6-member, 3-component bundle sets; returns (seconds, iterations)."""
+    field, rng, members, generate = _share_fixture()
+    start = time.perf_counter()
+    for _ in range(iterations):
+        generate(field, 1, (10, 20, 30), members, rng)
+    return time.perf_counter() - start, iterations
+
+
+def bench_lagrange_recovery(iterations: int = 5000) -> tuple[float, int]:
+    """Recover a 6-member cluster sum; returns (seconds, iterations)."""
+    from repro.core.shares import recover_cluster_sums
+
+    field, rng, members, generate = _share_fixture()
+    bundles = {
+        origin: generate(field, origin, (origin * 100,), members, rng)
+        for origin in members
+    }
+    assembled = {}
+    for member, seed in members.items():
+        values = [bundles[o][member].values[0] for o in members]
+        assembled[seed] = (field.sum(values),)
+    expected = (sum(i * 100 for i in members),)
+    start = time.perf_counter()
+    for _ in range(iterations):
+        result = recover_cluster_sums(field, assembled)
+    elapsed = time.perf_counter() - start
+    assert result == expected
+    return elapsed, iterations
+
+
+def bench_full_round_250() -> tuple[float, int]:
+    """One complete 250-node iCPDA round; returns (seconds, 1)."""
+    from repro.experiments.common import run_icpda_round
+
+    start = time.perf_counter()
+    result, _ = run_icpda_round(250, seed=3)
+    elapsed = time.perf_counter() - start
+    assert result.clusters_completed > 0
+    return elapsed, 1
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="timing passes per metric; best pass is reported (default 5)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=OUTPUT,
+        help=f"where to write the JSON report (default {OUTPUT})",
+    )
+    args = parser.parse_args()
+
+    benches = {
+        "kernel_event_throughput": (bench_kernel_event_throughput, "events"),
+        "share_generation": (bench_share_generation, "bundle_sets"),
+        "lagrange_recovery": (bench_lagrange_recovery, "recoveries"),
+        "full_round_250": (bench_full_round_250, "rounds"),
+    }
+
+    metrics = {}
+    for name, (fn, unit) in benches.items():
+        passes = []
+        units = None
+        for _ in range(max(1, args.repeats)):
+            elapsed, units = fn()
+            passes.append(elapsed)
+        best = min(passes)
+        metrics[name] = {
+            "unit": unit,
+            "units_per_pass": units,
+            "best_seconds": round(best, 6),
+            "ops_per_sec": round(units / best, 1),
+            "repeats": len(passes),
+        }
+        print(f"{name:28s} {metrics[name]['ops_per_sec']:>12.1f} {unit}/s "
+              f"(best of {len(passes)}: {best:.4f}s)")
+
+    report = {
+        "schema": "bench-substrate/1",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "metrics": metrics,
+    }
+    args.output.parent.mkdir(exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -71,6 +71,61 @@ def test_perf_share_generation(benchmark):
     assert len(bundles) == 6
 
 
+def test_perf_lagrange_recovery_cold_cache(benchmark):
+    """Recovery including the one-time weight solve (fresh field each
+    round) — the worst case a brand-new cluster pays once."""
+    from repro.core.field import MERSENNE_61, PrimeField
+    from repro.core.shares import recover_cluster_sums
+
+    rng = np.random.default_rng(0)
+    members = {i: seed_for_node(i) for i in range(1, 7)}
+    base = PrimeField(MERSENNE_61)
+    bundles = {
+        origin: generate_share_bundles(base, origin, (origin * 100,), members, rng)
+        for origin in members
+    }
+    assembled = {}
+    for member, seed in members.items():
+        values = [bundles[o][member].values[0] for o in members]
+        assembled[seed] = (base.sum(values),)
+
+    def recover_cold():
+        field = PrimeField(MERSENNE_61)
+        return recover_cluster_sums(field, assembled)
+
+    result = benchmark(recover_cold)
+    assert result == (sum(i * 100 for i in members),)
+
+
+def test_perf_trace_disabled_emit(benchmark):
+    """1k emits against a disabled log — must cost a no-op call each,
+    never string formatting."""
+    from repro.sim.trace import TraceLog
+
+    log = TraceLog(enabled=False)
+
+    def emit_many():
+        emit = log.emit
+        for i in range(1000):
+            emit("medium.tx", "node %(sender)s sends %(kind)s", sender=i, kind="x")
+        return len(log)
+
+    assert benchmark(emit_many) == 0
+
+
+def test_perf_full_round_250(benchmark):
+    """One full 250-node iCPDA round: clustering, share exchange,
+    integrity phase, tree aggregation — the substrate end to end."""
+    from repro.experiments.common import run_icpda_round
+
+    def round_250():
+        result, _ = run_icpda_round(250, seed=3)
+        return result.clusters_completed
+
+    completed = benchmark.pedantic(round_250, rounds=3, iterations=1)
+    assert completed > 0
+
+
 def test_perf_broadcast_storm(benchmark):
     """Flood 200 broadcasts through a 60-node dense network."""
     deployment = uniform_deployment(

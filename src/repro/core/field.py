@@ -17,7 +17,7 @@ centered lift: integers in ``(-q/2, q/2)`` map to ``[0, q)`` and back.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.errors import FieldArithmeticError
 
@@ -58,12 +58,18 @@ class PrimeField:
     entire class of silent corruption).
     """
 
+    #: Cached Lagrange weight sets kept per field instance (see
+    #: :meth:`lagrange_weights`); bounded so pathological workloads with
+    #: ever-changing seed sets cannot grow memory without limit.
+    _WEIGHT_CACHE_MAX = 4096
+
     def __init__(self, modulus: int = MERSENNE_61) -> None:
         if modulus < 3:
             raise FieldArithmeticError(f"modulus must be >= 3, got {modulus}")
         if not _is_probable_prime(modulus):
             raise FieldArithmeticError(f"modulus {modulus} is not prime")
         self.q = modulus
+        self._weight_cache: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
 
     # -- canonical ops -------------------------------------------------------
 
@@ -100,11 +106,50 @@ class PrimeField:
             raise FieldArithmeticError("zero has no multiplicative inverse")
         return pow(a, self.q - 2, self.q)
 
+    def inv_many(self, values: Sequence[int]) -> List[int]:
+        """Inverses of several elements with one modular exponentiation
+        (Montgomery's trick): invert the running product, then peel the
+        individual inverses off with multiplications.
+
+        Raises
+        ------
+        FieldArithmeticError
+            If any element is ``≡ 0``.
+        """
+        q = self.q
+        reduced = [v % q for v in values]
+        if not reduced:
+            return []
+        prefix = [0] * len(reduced)
+        running = 1
+        for i, v in enumerate(reduced):
+            if v == 0:
+                raise FieldArithmeticError("zero has no multiplicative inverse")
+            prefix[i] = running
+            running = running * v % q
+        inv_running = pow(running, q - 2, q)
+        inverses = [0] * len(reduced)
+        for i in range(len(reduced) - 1, -1, -1):
+            inverses[i] = inv_running * prefix[i] % q
+            inv_running = inv_running * reduced[i] % q
+        return inverses
+
     def power(self, a: int, k: int) -> int:
         """``a ** k`` in the field (k >= 0)."""
         if k < 0:
             raise FieldArithmeticError(f"negative exponent {k}; use inv() first")
         return pow(a % self.q, k, self.q)
+
+    def powers(self, x: int, count: int) -> List[int]:
+        """``[1, x, x^2, ..., x^(count-1)]`` in the field."""
+        if count < 0:
+            raise FieldArithmeticError(f"need a non-negative count, got {count}")
+        q = self.q
+        out = [1] * count if count else []
+        x %= q
+        for k in range(1, count):
+            out[k] = out[k - 1] * x % q
+        return out
 
     def sum(self, values: Iterable[int]) -> int:
         """Field sum of an iterable."""
@@ -148,13 +193,60 @@ class PrimeField:
             result = (result * x + coefficient) % self.q
         return result
 
+    def lagrange_weights(self, xs: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Constant-term Lagrange weights ``w_j = Π_{k≠j} x_k / (x_k - x_j)``
+        for the evaluation points ``xs``, cached per seed tuple.
+
+        Interpolation at zero is then the dot product ``Σ_j y_j w_j``.
+        Every member of an ``m``-cluster recovers with the *same* seed set
+        (and every aggregate component reuses it too), so after the first
+        solve per cluster recovery is one multiply-accumulate per point.
+
+        Raises
+        ------
+        FieldArithmeticError
+            On empty, duplicate, or zero evaluation points (zero seeds
+            would leak constant terms directly and are forbidden by the
+            protocol).
+        """
+        weights = self._weight_cache.get(xs)
+        if weights is not None:
+            return weights
+        if not xs:
+            raise FieldArithmeticError("need at least one interpolation point")
+        q = self.q
+        reduced = [x % q for x in xs]
+        if len(set(reduced)) != len(reduced):
+            raise FieldArithmeticError(f"duplicate evaluation points in {reduced}")
+        if any(x == 0 for x in reduced):
+            raise FieldArithmeticError("seed 0 is forbidden (leaks constant term)")
+        numerators = []
+        denominators = []
+        for j, xj in enumerate(reduced):
+            numerator, denominator = 1, 1
+            for k, xk in enumerate(reduced):
+                if k == j:
+                    continue
+                numerator = numerator * xk % q
+                denominator = denominator * (xk - xj) % q
+            numerators.append(numerator)
+            denominators.append(denominator)
+        inverses = self.inv_many(denominators)
+        weights = tuple(n * i % q for n, i in zip(numerators, inverses))
+        if len(self._weight_cache) >= self._WEIGHT_CACHE_MAX:
+            self._weight_cache.clear()
+        self._weight_cache[xs] = weights
+        return weights
+
     def lagrange_constant_term(self, points: Sequence[Tuple[int, int]]) -> int:
         """Constant term of the unique degree-``len(points)-1`` polynomial
         through ``points`` — i.e. its value at 0.
 
         This is the cluster-sum recovery step: members publish
         ``F(x_j) = Σ_i f_i(x_j)``; interpolating at zero yields
-        ``Σ_i v_i``.
+        ``Σ_i v_i``. The per-seed-set weights come from
+        :meth:`lagrange_weights`, so repeated recoveries over the same
+        cluster reduce to a single dot product.
 
         Raises
         ------
@@ -162,26 +254,8 @@ class PrimeField:
             On duplicate or zero evaluation points (zero seeds would leak
             constant terms directly and are forbidden by the protocol).
         """
-        if not points:
-            raise FieldArithmeticError("need at least one interpolation point")
-        xs = [x % self.q for x, _ in points]
-        if len(set(xs)) != len(xs):
-            raise FieldArithmeticError(f"duplicate evaluation points in {xs}")
-        if any(x == 0 for x in xs):
-            raise FieldArithmeticError("seed 0 is forbidden (leaks constant term)")
-        total = 0
-        for j, (xj, yj) in enumerate(points):
-            xj %= self.q
-            numerator, denominator = 1, 1
-            for k, (xk, _) in enumerate(points):
-                if k == j:
-                    continue
-                xk %= self.q
-                numerator = numerator * xk % self.q
-                denominator = denominator * ((xk - xj) % self.q) % self.q
-            term = yj % self.q * numerator % self.q * self.inv(denominator) % self.q
-            total = (total + term) % self.q
-        return total
+        weights = self.lagrange_weights(tuple(x for x, _ in points))
+        return sum(y * w for (_, y), w in zip(points, weights)) % self.q
 
     def solve_vandermonde(self, points: Sequence[Tuple[int, int]]) -> List[int]:
         """Full coefficient vector of the interpolating polynomial

@@ -168,6 +168,12 @@ class IntraClusterExchange:
 
         # Per-node exchange bookkeeping.
         self._cluster_of: Dict[int, int] = {}
+        # Per-cluster seed maps, computed once at window start: member id
+        # -> seed and the full expected seed set. These are consulted on
+        # every share/F-value/overhear packet, so rebuilding them per
+        # packet would dominate the exchange hot path.
+        self._seeds_of: Dict[int, Dict[int, int]] = {}
+        self._expected_seeds: Dict[int, frozenset] = {}
         self._expected_origins: Dict[int, Set[int]] = {}
         self._held_bundles: Dict[int, Dict[int, ShareBundle]] = {}
         self._share_acked: Dict[Tuple[int, int], bool] = {}
@@ -217,6 +223,9 @@ class IntraClusterExchange:
                 participants=participants,
                 contributors=contributors,
             )
+            seeds = {m: seed_for_node(m) for m in participants}
+            self._seeds_of[cluster.head] = seeds
+            self._expected_seeds[cluster.head] = frozenset(seeds.values())
             for member in participants:
                 self._cluster_of[member] = cluster.head
                 self._expected_origins[member] = set(participants)
@@ -255,7 +264,7 @@ class IntraClusterExchange:
 
     def _make_share_sender(self, member: int, state: ClusterExchangeState):
         def send_shares() -> None:
-            seeds = {m: seed_for_node(m) for m in state.participants}
+            seeds = self._seeds_of[state.head]
             reading = self._readings.get(member)
             components = (
                 self._aggregate.components(reading)
@@ -455,8 +464,8 @@ class IntraClusterExchange:
         if state is None or state.aborted_reason:
             return
         state.fvalues_at_head[seed] = fvalue
-        expected = {seed_for_node(m) for m in state.participants}
-        if set(state.fvalues_at_head) == expected and not state.completed:
+        expected = self._expected_seeds[head]
+        if frozenset(state.fvalues_at_head) == expected and not state.completed:
             state.cluster_sums = recover_cluster_sums(
                 self._field, state.fvalues_at_head
             )
@@ -542,9 +551,9 @@ class IntraClusterExchange:
         state = self.result.states.get(head)
         if state is None:
             return
-        expected = {seed_for_node(m) for m in state.participants}
+        expected = self._expected_seeds[head]
         known = self._witness_fvalues[node]
-        if set(known) >= expected:
+        if known.keys() >= expected:
             sums = recover_cluster_sums(
                 self._field, {s: known[s] for s in expected}
             )

@@ -14,29 +14,40 @@ jointly uniform — they carry zero information about the constant term.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Mapping, Sequence, Tuple
+from operator import mul
+from typing import Dict, List, Mapping, NamedTuple, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.field import PrimeField
-from repro.errors import ShareAlgebraError
+from repro.core.field import MERSENNE_61, PrimeField
+from repro.errors import FieldArithmeticError, ShareAlgebraError
 
 
-def seed_for_node(node_id: int) -> int:
+def seed_for_node(node_id: int, modulus: int = MERSENNE_61) -> int:
     """Public, distinct, non-zero field seed for a node: ``node_id + 1``.
 
     Node ids are unique and non-negative, so seeds are unique and never
-    zero (a zero seed would expose constant terms directly).
+    zero (a zero seed would expose constant terms directly). Ids so large
+    that ``node_id + 1`` wraps past the field modulus are rejected: the
+    algebra works mod ``q``, so a wrapped seed would collide with a small
+    node's seed (or hit the forbidden residue 0) and make the share
+    matrix singular.
     """
     if node_id < 0:
         raise ShareAlgebraError(f"node ids must be >= 0, got {node_id}")
+    if node_id + 1 >= modulus:
+        raise ShareAlgebraError(
+            f"node id {node_id} wraps past the field modulus {modulus}"
+        )
     return node_id + 1
 
 
-@dataclass(frozen=True)
-class ShareBundle:
+class ShareBundle(NamedTuple):
     """The share one node sends to one cluster member.
+
+    A named tuple rather than a dataclass: bundles are created ``m`` times
+    per node per round, and tuple construction is an order of magnitude
+    cheaper than a frozen dataclass ``__init__``.
 
     Attributes
     ----------
@@ -98,24 +109,81 @@ def generate_share_bundles(
         raise ShareAlgebraError(
             f"share generation needs >= 2 members, got {len(member_seeds)}"
         )
-    seeds = list(member_seeds.values())
-    if len(set(seeds)) != len(seeds):
-        raise ShareAlgebraError(f"duplicate seeds in member map: {seeds}")
-    if any(seed % field.q == 0 for seed in seeds):
-        raise ShareAlgebraError("seed congruent to 0 is forbidden")
-
+    q = field.q
     degree = len(member_seeds) - 1
-    polynomials = []
+    bases = _seed_power_bases(field, tuple(member_seeds.values()))
+
+    # One vectorized draw for the whole masking matrix. The row-major
+    # flattening consumes the stream in exactly the per-component order
+    # the scalar loop used, so runs stay bit-identical across versions.
+    masks = rng.integers(0, q, size=(len(components), degree)).tolist()
+    half = q // 2
+    constants = []
     for component in components:
-        constant = field.encode_signed(int(component))
-        mask = [int(rng.integers(0, field.q)) for _ in range(degree)]
-        polynomials.append([constant] + mask)
+        component = int(component)
+        if component >= half or -component >= half:
+            # Same contract (and exception) as field.encode_signed, inlined
+            # to skip 1 method call per component on the hot path.
+            raise FieldArithmeticError(
+                f"value {component} outside centered range of GF({q})"
+            )
+        constants.append(component % q)
+    polynomials = list(zip(constants, masks))
 
     bundles: Dict[int, ShareBundle] = {}
     for member, seed in member_seeds.items():
-        values = tuple(field.eval_poly(poly, seed) for poly in polynomials)
-        bundles[member] = ShareBundle(origin=origin, eval_seed=seed, values=values)
+        # Evaluate every polynomial against the precomputed power basis
+        # for this seed: a C-level map/mul dot product with the constant
+        # term as the start value and a single final reduction beats
+        # Horner's per-step reductions at cluster-sized degrees.
+        tail = bases[seed]
+        values = tuple(
+            [sum(map(mul, mask_row, tail), constant) % q
+             for constant, mask_row in polynomials]
+        )
+        bundles[member] = ShareBundle(origin, seed, values)
     return bundles
+
+
+#: Validated seed sets -> per-seed power bases ``[x, x^2, ..., x^(m-1)]``
+#: (mod q). A cluster's seed set is identical for all m members and every
+#: round, so validation and basis construction amortise to one dict hit.
+_BASIS_CACHE: Dict[Tuple[int, Tuple[int, ...]], Dict[int, List[int]]] = {}
+_BASIS_CACHE_MAX = 4096
+
+
+def _seed_power_bases(
+    field: PrimeField, seeds: Tuple[int, ...]
+) -> Dict[int, List[int]]:
+    """Validate a seed tuple and return its per-seed mask power bases.
+
+    The algebra operates mod ``q``: distinctness and the non-zero rule are
+    checked on the residues, or two seeds congruent mod ``q`` would pass
+    and make the Vandermonde system singular.
+    """
+    key = (field.q, seeds)
+    bases = _BASIS_CACHE.get(key)
+    if bases is not None:
+        return bases
+    q = field.q
+    residues = [seed % q for seed in seeds]
+    if len(set(residues)) != len(residues):
+        raise ShareAlgebraError(f"duplicate seeds (mod {q}) in member map: {list(seeds)}")
+    if any(residue == 0 for residue in residues):
+        raise ShareAlgebraError("seed congruent to 0 is forbidden")
+    degree = len(seeds) - 1
+    bases = {}
+    for seed, x in zip(seeds, residues):
+        tail = [0] * degree
+        acc = 1
+        for k in range(degree):
+            acc = acc * x % q
+            tail[k] = acc
+        bases[seed] = tail
+    if len(_BASIS_CACHE) >= _BASIS_CACHE_MAX:
+        _BASIS_CACHE.clear()
+    _BASIS_CACHE[key] = bases
+    return bases
 
 
 def sum_share_values(

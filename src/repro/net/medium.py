@@ -32,7 +32,10 @@ from repro.sim.kernel import Simulator
 #: Signature of a node's frame-delivery callback.
 ReceiveCallback = Callable[[Packet], None]
 
-_TX_SEQ = itertools.count()
+#: Corruption causes, recorded the moment a frame is corrupted (not
+#: inferred at completion, where the channel state may have moved on).
+CAUSE_COLLISION = "collision"
+CAUSE_HALF_DUPLEX = "half_duplex"
 
 
 @dataclass(eq=False)  # identity semantics: each transmission is unique
@@ -44,7 +47,8 @@ class _Transmission:
     packet: Packet
     start: float
     end: float
-    corrupted_at: Set[int] = field(default_factory=set)
+    #: receiver id -> first corruption cause observed at that receiver.
+    corrupted_at: Dict[int, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -104,6 +108,10 @@ class WirelessMedium:
         }
         self._loss_rng = sim.rng.stream("medium.ambient_loss")
         self._dead: Set[int] = set()
+        # Per-medium counter: a module-level one would leak monotonically
+        # increasing ids across Simulator instances in one process and
+        # break run-to-run trace determinism.
+        self._tx_seq = itertools.count()
         self.stats = MediumStats()
 
     @property
@@ -128,7 +136,7 @@ class WirelessMedium:
         if node_id not in self._adjacency:
             raise SimulationError(f"unknown node {node_id}")
         self._dead.add(node_id)
-        self._sim.trace.emit("medium.kill", f"node {node_id} crashed", node=node_id)
+        self._sim.trace.emit("medium.kill", "node %(node)s crashed", node=node_id)
 
     def is_dead(self, node_id: int) -> bool:
         """True if ``node_id`` was crash-stopped."""
@@ -152,7 +160,7 @@ class WirelessMedium:
         now = self._sim.now
         airtime = self._radio.airtime(packet)
         tx = _Transmission(
-            tx_id=next(_TX_SEQ),
+            tx_id=next(self._tx_seq),
             sender=sender,
             packet=packet,
             start=now,
@@ -160,29 +168,34 @@ class WirelessMedium:
         )
         self.stats.transmissions += 1
         self._sim.trace.emit(
-            "medium.tx", f"node {sender} sends {packet.kind}", sender=sender,
-            kind=packet.kind, bytes=packet.size_bytes,
+            "medium.tx", "node %(sender)s sends %(kind)s", sender=sender,
+            kind=packet.kind, bytes=packet.size_bytes, tx=tx.tx_id,
         )
         # Half-duplex: if the sender was already mid-reception those frames
-        # are lost at the sender.
+        # are lost at the sender. The cause is recorded here, at corruption
+        # time — completion-time inference would misattribute it once the
+        # channel state moves on.
         for ongoing in self._audible[sender]:
-            ongoing.corrupted_at.add(sender)
+            ongoing.corrupted_at.setdefault(sender, CAUSE_HALF_DUPLEX)
         self._transmitting[sender] = tx
 
         for receiver in self._adjacency[sender]:
             active = self._audible[receiver]
+            if self._transmitting[receiver] is not None:
+                # A transmitting radio cannot listen: the new frame is lost
+                # at this receiver regardless of what else is in the air.
+                tx.corrupted_at.setdefault(receiver, CAUSE_HALF_DUPLEX)
             if active:
                 # Overlap: this frame and every concurrently audible frame
-                # are corrupted at this receiver.
-                tx.corrupted_at.add(receiver)
+                # are corrupted at this receiver. First cause wins — a
+                # frame already lost to half-duplex stays attributed there.
+                tx.corrupted_at.setdefault(receiver, CAUSE_COLLISION)
                 for ongoing in active:
-                    ongoing.corrupted_at.add(receiver)
-            if self._transmitting[receiver] is not None:
-                tx.corrupted_at.add(receiver)
+                    ongoing.corrupted_at.setdefault(receiver, CAUSE_COLLISION)
             active.add(tx)
 
         self._sim.schedule(
-            airtime, lambda: self._complete(tx), name=f"tx-end:{packet.kind}"
+            airtime, self._complete, args=(tx,), name=f"tx-end:{packet.kind}"
         )
 
     # -- internal ------------------------------------------------------------
@@ -194,17 +207,19 @@ class WirelessMedium:
             self._finish_reception(tx, receiver)
 
     def _finish_reception(self, tx: _Transmission, receiver: int) -> None:
-        if receiver in tx.corrupted_at:
-            if self._transmitting[receiver] is not None or receiver == tx.sender:
+        cause = tx.corrupted_at.get(receiver)
+        if cause is not None:
+            if cause == CAUSE_HALF_DUPLEX:
                 self.stats.half_duplex_losses += 1
             else:
                 self.stats.collisions += 1
             self._sim.trace.emit(
                 "medium.collision",
-                f"frame {tx.packet.kind} lost at {receiver}",
+                "frame %(kind)s lost at %(receiver)s (%(cause)s)",
                 sender=tx.sender,
                 receiver=receiver,
                 kind=tx.packet.kind,
+                cause=cause,
             )
             return
         loss_probability = self._radio.ambient_loss
@@ -219,9 +234,10 @@ class WirelessMedium:
             self.stats.ambient_losses += 1
             self._sim.trace.emit(
                 "medium.ambient_loss",
-                f"frame {tx.packet.kind} faded at {receiver}",
+                "frame %(kind)s faded at %(receiver)s",
                 sender=tx.sender,
                 receiver=receiver,
+                kind=tx.packet.kind,
             )
             return
         callback = self._receivers.get(receiver)
@@ -232,6 +248,6 @@ class WirelessMedium:
         if self._distances is not None:
             delay = self._radio.propagation_delay(self._distances(tx.sender, receiver))
         if delay > 0:
-            self._sim.schedule(delay, lambda: callback(tx.packet), name="rx-deliver")
+            self._sim.schedule(delay, callback, args=(tx.packet,), name="rx-deliver")
         else:
             callback(tx.packet)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 from repro.errors import EventCancelledError
 
@@ -38,7 +38,11 @@ class Event:
     seq:
         Monotone sequence number; final tie-break, assigned automatically.
     callback:
-        Zero-argument callable invoked when the event fires.
+        Callable invoked with ``args`` when the event fires.
+    args:
+        Positional payload for the callback. Scheduling a bound method
+        with a payload avoids allocating a closure per event — the
+        dominant allocation on the medium's hot path.
     name:
         Optional label used in traces and error messages.
     """
@@ -46,7 +50,8 @@ class Event:
     time: float
     priority: int = PRIORITY_NORMAL
     seq: int = field(default_factory=lambda: next(_SEQ))
-    callback: Optional[Callable[[], Any]] = field(default=None, compare=False)
+    callback: Optional[Callable[..., Any]] = field(default=None, compare=False)
+    args: Tuple[Any, ...] = field(default=(), compare=False)
     name: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
 
@@ -55,7 +60,7 @@ class Event:
         if self.cancelled:
             return
         if self.callback is not None:
-            self.callback()
+            self.callback(*self.args)
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when popped."""

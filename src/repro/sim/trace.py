@@ -62,30 +62,56 @@ class TraceLog:
         categories: Optional[List[str]] = None,
         capacity: Optional[int] = None,
     ) -> None:
-        self.enabled = enabled
         self._categories = list(categories) if categories else None
         self._capacity = capacity
         self._records: List[TraceRecord] = []
         self._clock: Callable[[], float] = lambda: 0.0
+        self.enabled = enabled
+
+    @property
+    def enabled(self) -> bool:
+        """Whether :meth:`emit` records anything at all."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        # Swap the bound `emit` so a disabled log pays for nothing but the
+        # call itself — hot paths may trace unconditionally with lazy
+        # %-style templates and no formatting ever happens while off.
+        self._enabled = bool(value)
+        self.emit = self._emit if self._enabled else self._emit_noop
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Attach the time source (normally ``lambda: sim.now``)."""
         self._clock = clock
 
-    def emit(self, category: str, message: str = "", **fields: Any) -> None:
-        """Record an entry if tracing is enabled and the category passes
-        the whitelist."""
-        if not self.enabled:
-            return
+    @staticmethod
+    def _emit_noop(category: str, message: str = "", **fields: Any) -> None:
+        """The :meth:`emit` implementation while tracing is disabled."""
+
+    def _emit(self, category: str, message: str = "", **fields: Any) -> None:
+        """Record an entry if the category passes the whitelist.
+
+        ``message`` may be a ``%``-style template over ``fields``
+        (e.g. ``"node %(sender)s sends %(kind)s"``); it is formatted only
+        when the record is actually kept, so call sites never pay for
+        string building on filtered or disabled traces.
+        """
         if self._categories is not None and not any(
             category == c or category.startswith(c + ".") for c in self._categories
         ):
             return
+        if fields and "%(" in message:
+            message = message % fields
         self._records.append(
             TraceRecord(time=self._clock(), category=category, message=message, fields=fields)
         )
         if self._capacity is not None and len(self._records) > self._capacity:
             del self._records[: len(self._records) - self._capacity]
+
+    #: Class-level fallback so ``TraceLog.emit`` stays introspectable; the
+    #: constructor rebinds the instance attribute via the setter above.
+    emit = _emit
 
     # -- querying ----------------------------------------------------------
 

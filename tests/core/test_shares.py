@@ -1,6 +1,5 @@
 """Unit tests for CPDA share generation and recovery."""
 
-import numpy as np
 import pytest
 
 from repro.core.field import DEFAULT_FIELD, PrimeField
@@ -26,6 +25,21 @@ class TestSeeds:
     def test_negative_node_rejected(self):
         with pytest.raises(ShareAlgebraError):
             seed_for_node(-1)
+
+    def test_wrapping_node_id_rejected(self):
+        # A seed of exactly q would be ≡ 0 (leaks constant terms); any
+        # larger id collides with a small node's seed mod q.
+        q = DEFAULT_FIELD.q
+        with pytest.raises(ShareAlgebraError):
+            seed_for_node(q - 1)
+        with pytest.raises(ShareAlgebraError):
+            seed_for_node(q)
+        assert seed_for_node(q - 2) == q - 1
+
+    def test_wrap_check_respects_custom_modulus(self):
+        with pytest.raises(ShareAlgebraError):
+            seed_for_node(10, modulus=11)
+        assert seed_for_node(9, modulus=11) == 10
 
 
 class TestGeneration:
@@ -67,6 +81,20 @@ class TestGeneration:
     def test_too_small_cluster_rejected(self, rng):
         with pytest.raises(ShareAlgebraError):
             generate_share_bundles(DEFAULT_FIELD, 1, (1,), cluster_seeds(1), rng)
+
+    def test_seeds_congruent_mod_q_rejected(self, rng):
+        # Raw values differ, but the algebra works mod q: congruent seeds
+        # would make the Vandermonde system singular.
+        q = DEFAULT_FIELD.q
+        seeds = {1: 2, 2: 3, 3: 2 + q}
+        with pytest.raises(ShareAlgebraError):
+            generate_share_bundles(DEFAULT_FIELD, 1, (10,), seeds, rng)
+
+    def test_seed_congruent_to_zero_rejected(self, rng):
+        q = DEFAULT_FIELD.q
+        seeds = {1: 2, 2: 2 * q}  # raw non-zero, but ≡ 0 mod q
+        with pytest.raises(ShareAlgebraError):
+            generate_share_bundles(DEFAULT_FIELD, 1, (10,), seeds, rng)
 
     def test_wire_size(self):
         bundle = ShareBundle(origin=1, eval_seed=2, values=(5, 6))

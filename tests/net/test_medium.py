@@ -145,6 +145,116 @@ class TestCarrierSense:
         assert states == [False]
 
 
+class TestLossAttribution:
+    """The corruption *cause* is recorded when the corruption happens,
+    not inferred from channel state at frame completion."""
+
+    def test_collision_not_misread_as_half_duplex(self):
+        # Hidden terminals 0 and 2 collide at 1; later 1 starts its own
+        # (directed-to-2-only) transmission that is still in the air when
+        # the collided frames complete. Completion-time inference would
+        # blame the receiver's radio (half duplex); the real cause is the
+        # third-party overlap.
+        adjacency = {0: [1], 1: [2], 2: [1]}
+        sim = Simulator(seed=0)
+        medium = WirelessMedium(sim, adjacency, RadioParams(turnaround_s=0.0))
+        long_a = Packet(src=0, dst=1, kind="a", size_bytes=1000)
+        short_b = Packet(src=2, dst=1, kind="b", size_bytes=100)
+        airtime_a = medium.radio.airtime(long_a)
+        got = []
+        medium.attach(2, got.append)
+        medium.transmit(0, long_a)
+        medium.transmit(2, short_b)
+        # 1 keys up after b ended but before a completes.
+        sim.schedule(
+            airtime_a * 0.9,
+            lambda: medium.transmit(1, Packet(src=1, dst=2, kind="c", size_bytes=20)),
+        )
+        sim.run()
+        assert medium.stats.collisions == 2  # a and b, both corrupted at 1
+        assert medium.stats.half_duplex_losses == 0
+        assert len(got) == 1  # 1's own frame arrives cleanly at 2
+        assert got[0].kind == "c"
+
+    def test_half_duplex_attributed_to_busy_radio(self):
+        # 1 is mid-transmission when 0's frame starts: the loss is the
+        # receiver's own radio, not an overlap.
+        adjacency = {0: [1], 1: [0], 9: [0]}
+        sim = Simulator(seed=0)
+        medium = WirelessMedium(sim, adjacency, RadioParams(turnaround_s=0.0))
+        medium.transmit(1, Packet(src=1, dst=0, kind="x", size_bytes=500))
+        sim.schedule(
+            1e-4,
+            lambda: medium.transmit(0, Packet(src=0, dst=1, kind="y", size_bytes=100)),
+        )
+        sim.run()
+        # y dies at busy 1; x dies at 0, which keyed up mid-reception.
+        assert medium.stats.half_duplex_losses == 2
+        assert medium.stats.collisions == 0
+
+    def test_mid_reception_keyup_counts_as_half_duplex(self):
+        # 1 starts transmitting while 0's clean frame is still arriving:
+        # the ongoing reception dies to 1's own radio.
+        sim = Simulator(seed=0)
+        medium = WirelessMedium(sim, LINE3, RadioParams(turnaround_s=0.0))
+        medium.transmit(0, Packet(src=0, dst=1, kind="a", size_bytes=500))
+        sim.schedule(
+            1e-4,
+            lambda: medium.transmit(1, Packet(src=1, dst=2, kind="b", size_bytes=20)),
+        )
+        sim.run()
+        # a dies at 1 (keyed up mid-reception); b dies at 0 (still sending a).
+        assert medium.stats.half_duplex_losses == 2
+        assert medium.stats.collisions == 0
+
+
+class TestDeterminism:
+    """Two same-seed runs in one process must be indistinguishable —
+    a regression guard for cross-simulator state leaks (the tx counter
+    used to be module-level and bled across instances)."""
+
+    @staticmethod
+    def _run_once(seed=7):
+        from repro.sim.trace import TraceLog
+
+        sim = Simulator(seed=seed, trace=TraceLog(enabled=True))
+        sim.trace.bind_clock(lambda: sim.now)
+        medium = WirelessMedium(sim, TRIANGLE, RadioParams(ambient_loss=0.3))
+        delivered = []
+        for node in TRIANGLE:
+            medium.attach(node, delivered.append)
+        for index in range(12):
+            sender = index % 3
+            sim.schedule(
+                index * 0.0005,
+                lambda s=sender, i=index: medium.transmit(
+                    s, Packet(src=s, dst=BROADCAST, kind=f"k{i}")
+                ),
+            )
+        sim.run()
+        trace = [(r.time, r.category, r.message, tuple(sorted(r.fields.items())))
+                 for r in sim.trace]
+        return trace, medium.stats.snapshot(), len(delivered)
+
+    def test_back_to_back_runs_identical(self):
+        first = self._run_once()
+        second = self._run_once()
+        assert first == second
+
+    def test_tx_ids_restart_per_medium(self):
+        sim, medium = make_medium(LINE3)
+        medium.transmit(0, Packet(src=0, dst=1, kind="x"))
+        sim.run()
+        sim2, medium2 = make_medium(LINE3)
+        sim2.trace.enabled = True
+        sim2.trace.bind_clock(lambda: sim2.now)
+        medium2.transmit(0, Packet(src=0, dst=1, kind="x"))
+        sim2.run()
+        record = sim2.trace.last("medium.tx")
+        assert record is not None
+        assert record.fields["tx"] == 0
+
+
 class TestAmbientLoss:
     def test_loss_probability_one_drops_everything(self):
         sim, medium = make_medium(LINE3, ambient_loss=0.999999)

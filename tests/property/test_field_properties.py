@@ -102,3 +102,60 @@ class TestInterpolation:
         points = [(x, field.eval_poly(coefficients, x)) for x in xs]
         recovered = field.decode_signed(field.lagrange_constant_term(points))
         assert recovered == secret
+
+
+class TestCachedLagrangeWeights:
+    """The cached-weight fast path must be indistinguishable from an
+    independent uncached solve."""
+
+    @given(st.integers(min_value=3, max_value=6), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_cached_recovery_equals_uncached_solve(self, m, data):
+        field = PrimeField(DEFAULT_FIELD.q)  # fresh instance: cold cache
+        xs = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=100_000),
+                min_size=m,
+                max_size=m,
+                unique=True,
+            )
+        )
+        ys = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=field.q - 1),
+                min_size=m,
+                max_size=m,
+            )
+        )
+        points = list(zip(xs, ys))
+        cold = field.lagrange_constant_term(points)
+        warm = field.lagrange_constant_term(points)  # cache hit
+        # solve_vandermonde is an independent Newton-form solver that
+        # never touches the weight cache.
+        uncached = field.solve_vandermonde(points)[0]
+        assert cold == warm == uncached
+
+    @given(st.integers(min_value=3, max_value=6), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_weights_respect_point_order(self, m, data):
+        field = PrimeField(DEFAULT_FIELD.q)
+        xs = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=100_000),
+                min_size=m,
+                max_size=m,
+                unique=True,
+            )
+        )
+        ys = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=field.q - 1),
+                min_size=m,
+                max_size=m,
+            )
+        )
+        points = list(zip(xs, ys))
+        shuffled = list(reversed(points))
+        assert field.lagrange_constant_term(points) == field.lagrange_constant_term(
+            shuffled
+        )

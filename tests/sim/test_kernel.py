@@ -1,7 +1,5 @@
 """Unit tests for the discrete-event kernel."""
 
-import math
-
 import pytest
 
 from repro.errors import KernelStateError, ScheduleInPastError
@@ -165,3 +163,26 @@ class TestDeterminism:
         a = Simulator(seed=9).rng.stream("x").random(5)
         b = Simulator(seed=10).rng.stream("x").random(5)
         assert not (a == b).all()
+
+
+class TestScheduleWithArgs:
+    """Bound-method + payload scheduling (the closure-free hot path)."""
+
+    def test_callback_receives_payload(self):
+        from repro.sim.kernel import Simulator
+
+        sim = Simulator(seed=0)
+        got = []
+        sim.schedule(1.0, got.append, args=("payload",))
+        sim.schedule_at(2.0, got.extend, args=([1, 2],))
+        sim.run()
+        assert got == ["payload", 1, 2]
+
+    def test_argless_default_unchanged(self):
+        from repro.sim.kernel import Simulator
+
+        sim = Simulator(seed=0)
+        fired = []
+        sim.schedule(0.5, lambda: fired.append(True))
+        sim.run()
+        assert fired == [True]

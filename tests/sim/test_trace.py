@@ -64,3 +64,35 @@ class TestTraceLog:
         log.emit("x", "")
         log.clear()
         assert len(log) == 0
+
+
+class TestFastPath:
+    def test_disabled_emit_is_swapped_noop(self):
+        log = TraceLog(enabled=False)
+        assert log.emit is TraceLog._emit_noop
+        log.enabled = True
+        assert log.emit.__func__ is TraceLog._emit
+        log.enabled = False
+        assert log.emit is TraceLog._emit_noop
+
+    def test_lazy_template_formats_only_when_kept(self):
+        log = TraceLog()
+        log.emit("medium.tx", "node %(sender)s sends %(kind)s", sender=3, kind="ack")
+        assert log.last().message == "node 3 sends ack"
+        assert log.last().fields == {"sender": 3, "kind": "ack"}
+
+    def test_plain_message_untouched(self):
+        log = TraceLog()
+        log.emit("x", "literal 100% plain", value=1)
+        assert log.last().message == "literal 100% plain"
+
+    def test_disabled_template_never_formats(self):
+        log = TraceLog(enabled=False)
+        # A template referencing a missing field would raise if formatted.
+        log.emit("x", "boom %(missing)s")
+        assert len(log) == 0
+
+    def test_whitelist_filtered_template_never_formats(self):
+        log = TraceLog(categories=["mac"])
+        log.emit("tree.join", "boom %(missing)s", other=1)
+        assert len(log) == 0
