@@ -28,6 +28,17 @@ from repro.experiments.common import (
     run_icpda_round,
     run_tag_round_on,
 )
+from repro.experiments.engine import (
+    CellOutcome,
+    CellSpec,
+    ExperimentSpec,
+    RunReport,
+    collect_rows,
+    derive_seed,
+    execute,
+    failure_rows,
+    run_serial,
+)
 
 __all__ = [
     "DEFAULT_SIZES",
@@ -35,4 +46,14 @@ __all__ = [
     "build_icpda",
     "run_icpda_round",
     "run_tag_round_on",
+    # engine
+    "CellSpec",
+    "CellOutcome",
+    "ExperimentSpec",
+    "RunReport",
+    "derive_seed",
+    "execute",
+    "collect_rows",
+    "failure_rows",
+    "run_serial",
 ]

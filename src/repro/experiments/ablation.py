@@ -11,7 +11,6 @@ exponentially (``p_x^{2(m-1)}``) and pay O(m²) share traffic; too-large
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import List, Sequence
 
 from repro.analysis.privacy import p_disclose_link
@@ -19,6 +18,74 @@ from repro.attacks.pollution import TamperStrategy
 from repro.attacks.scenario import run_detection_trials
 from repro.core.config import IcpdaConfig
 from repro.experiments.common import fixed_cluster_config, run_icpda_round
+from repro.experiments.engine import CellSpec, ExperimentSpec, run_serial
+
+
+def witness_cell(params: dict, seed: int, context: dict) -> dict:
+    """One paired detection trial at one witness fraction."""
+    cfg = IcpdaConfig(witness_fraction=params["witness_fraction"])
+    stats, _, _ = run_detection_trials(
+        num_nodes=context["num_nodes"],
+        num_attackers=1,
+        strategy=TamperStrategy.CONSISTENT_OWN,
+        trials=1,
+        config=cfg,
+        base_seed=seed,
+    )
+    return {
+        "attacked_rounds": stats.attacked_rounds,
+        "detected": stats.detected,
+        "clean_rounds": stats.clean_rounds,
+        "false_alarms": stats.false_alarms,
+    }
+
+
+def witness_spec(
+    fractions: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+    num_nodes: int = 300,
+    trials: int = 3,
+    base_seed: int = 0,
+) -> ExperimentSpec:
+    """Cells: one per ``(fraction, trial)``; reduce: pooled ratios."""
+    fractions = tuple(fractions)
+    cells = tuple(
+        CellSpec(
+            {"witness_fraction": fraction, "trial": trial}, base_seed + trial
+        )
+        for fraction in fractions
+        for trial in range(trials)
+    )
+
+    def reduce(outcomes) -> List[dict]:
+        rows: List[dict] = []
+        for fraction in fractions:
+            values = [
+                o.value
+                for o in outcomes
+                if o.params["witness_fraction"] == fraction
+            ]
+            if not values:
+                continue
+            attacked = sum(v["attacked_rounds"] for v in values)
+            detected = sum(v["detected"] for v in values)
+            clean = sum(v["clean_rounds"] for v in values)
+            false_alarms = sum(v["false_alarms"] for v in values)
+            rows.append(
+                {
+                    "witness_fraction": fraction,
+                    "detection_ratio": round(detected / attacked, 3)
+                    if attacked
+                    else None,
+                    "false_alarm_ratio": round(false_alarms / clean, 3)
+                    if clean
+                    else 0.0,
+                }
+            )
+        return rows
+
+    return ExperimentSpec(
+        "A1", witness_cell, cells, reduce, context={"num_nodes": num_nodes}
+    )
 
 
 def run_witness_ablation(
@@ -28,25 +95,46 @@ def run_witness_ablation(
     base_seed: int = 0,
 ) -> List[dict]:
     """A1 rows: witness fraction -> detection ratio, false alarms."""
-    rows: List[dict] = []
-    for fraction in fractions:
-        cfg = IcpdaConfig(witness_fraction=fraction)
-        stats, _, _ = run_detection_trials(
+    return run_serial(
+        witness_spec(
+            fractions=fractions,
             num_nodes=num_nodes,
-            num_attackers=1,
-            strategy=TamperStrategy.CONSISTENT_OWN,
             trials=trials,
-            config=cfg,
             base_seed=base_seed,
         )
-        rows.append(
-            {
-                "witness_fraction": fraction,
-                "detection_ratio": round(stats.detection_ratio, 3),
-                "false_alarm_ratio": round(stats.false_alarm_ratio, 3),
-            }
-        )
-    return rows
+    )
+
+
+def cluster_size_cell(params: dict, seed: int, context: dict) -> dict:
+    """One round with ``k_min = k_max = m`` pinned."""
+    m = params["m"]
+    cfg = fixed_cluster_config(m)
+    result, protocol = run_icpda_round(context["num_nodes"], cfg, seed=seed)
+    return {
+        "m": m,
+        "participation": round(result.participation, 4),
+        "verdict": result.verdict.value,
+        "total_bytes": protocol.total_bytes(),
+        "exchange_bytes": protocol.phase_bytes.get("exchange", 0),
+        "p_disclose_analytic": p_disclose_link(context["p_x"], m),
+    }
+
+
+def cluster_size_spec(
+    cluster_sizes: Sequence[int] = (2, 3, 4, 5, 6),
+    num_nodes: int = 400,
+    p_x: float = 0.05,
+    base_seed: int = 0,
+) -> ExperimentSpec:
+    """Cells: one round per cluster size."""
+    cells = tuple(CellSpec({"m": m}, base_seed + m) for m in cluster_sizes)
+    return ExperimentSpec(
+        "A2",
+        cluster_size_cell,
+        cells,
+        lambda outcomes: [o.value for o in outcomes],
+        context={"num_nodes": num_nodes, "p_x": p_x},
+    )
 
 
 def run_cluster_size_ablation(
@@ -57,18 +145,11 @@ def run_cluster_size_ablation(
 ) -> List[dict]:
     """A2 rows: m -> participation, bytes per round, analytic
     P_disclose at the reference ``p_x``."""
-    rows: List[dict] = []
-    for m in cluster_sizes:
-        cfg = fixed_cluster_config(m)
-        result, protocol = run_icpda_round(num_nodes, cfg, seed=base_seed + m)
-        rows.append(
-            {
-                "m": m,
-                "participation": round(result.participation, 4),
-                "verdict": result.verdict.value,
-                "total_bytes": protocol.total_bytes(),
-                "exchange_bytes": protocol.phase_bytes.get("exchange", 0),
-                "p_disclose_analytic": p_disclose_link(p_x, m),
-            }
+    return run_serial(
+        cluster_size_spec(
+            cluster_sizes=cluster_sizes,
+            num_nodes=num_nodes,
+            p_x=p_x,
+            base_seed=base_seed,
         )
-    return rows
+    )

@@ -10,7 +10,6 @@ COUNT and SUM are both measured (COUNT doubles as participation).
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import List, Optional, Sequence
 
 from repro.core.config import IcpdaConfig
@@ -19,7 +18,77 @@ from repro.experiments.common import (
     run_icpda_round,
     run_tag_round_on,
 )
+from repro.experiments.engine import CellSpec, ExperimentSpec, run_serial
 from repro.metrics.accuracy import summarize_accuracy
+
+
+def accuracy_cell(params: dict, seed: int, context: dict) -> dict:
+    """One (TAG round, iCPDA round) pair on the same deployment."""
+    size = params["nodes"]
+    workload = context["workload"]
+    tag_result, _ = run_tag_round_on(size, seed=seed, workload=workload)
+    round_result, _ = run_icpda_round(
+        size, context["config"], seed=seed, workload=workload
+    )
+    return {
+        "tag_accuracy": tag_result.accuracy,
+        "icpda_accuracy": (
+            round_result.accuracy if round_result.verdict.accepted else None
+        ),
+        "participation": round_result.participation,
+    }
+
+
+def accuracy_spec(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    trials: int = 3,
+    config: Optional[IcpdaConfig] = None,
+    workload: str = "metering",
+    base_seed: int = 0,
+) -> ExperimentSpec:
+    """Cells: one per ``(size, trial)``; reduce: per-size summaries."""
+    sizes = tuple(sizes)
+    cfg = config if config is not None else IcpdaConfig()
+    cells = tuple(
+        CellSpec({"nodes": size, "trial": trial}, base_seed + trial * 1009 + size)
+        for size in sizes
+        for trial in range(trials)
+    )
+
+    def reduce(outcomes) -> List[dict]:
+        rows: List[dict] = []
+        for size in sizes:
+            values = [o.value for o in outcomes if o.params["nodes"] == size]
+            if not values:
+                continue
+            tag_summary = summarize_accuracy([v["tag_accuracy"] for v in values])
+            icpda_summary = summarize_accuracy(
+                [v["icpda_accuracy"] for v in values]
+            )
+            participation = [v["participation"] for v in values]
+            rows.append(
+                {
+                    "nodes": size,
+                    "tag_accuracy": round(tag_summary.mean, 4),
+                    "icpda_accuracy": round(icpda_summary.mean, 4)
+                    if icpda_summary.trials
+                    else None,
+                    "icpda_participation": round(
+                        sum(participation) / len(participation), 4
+                    ),
+                    "icpda_rejected": icpda_summary.rejected,
+                    "trials": len(values),
+                }
+            )
+        return rows
+
+    return ExperimentSpec(
+        "F4",
+        accuracy_cell,
+        cells,
+        reduce,
+        context={"config": cfg, "workload": workload},
+    )
 
 
 def run_accuracy_experiment(
@@ -31,40 +100,46 @@ def run_accuracy_experiment(
 ) -> List[dict]:
     """Rows per size: TAG and iCPDA SUM accuracy (mean over trials),
     iCPDA participation (== COUNT accuracy), and rejected-round count."""
-    cfg = config if config is not None else IcpdaConfig()
-    rows: List[dict] = []
-    for size in sizes:
-        tag_acc: List[Optional[float]] = []
-        icpda_acc: List[Optional[float]] = []
-        participation: List[float] = []
-        for trial in range(trials):
-            seed = base_seed + trial * 1009 + size
-            tag_result, _ = run_tag_round_on(size, seed=seed, workload=workload)
-            tag_acc.append(tag_result.accuracy)
-            round_result, _ = run_icpda_round(
-                size, cfg, seed=seed, workload=workload
-            )
-            icpda_acc.append(
-                round_result.accuracy if round_result.verdict.accepted else None
-            )
-            participation.append(round_result.participation)
-        tag_summary = summarize_accuracy(tag_acc)
-        icpda_summary = summarize_accuracy(icpda_acc)
-        rows.append(
-            {
-                "nodes": size,
-                "tag_accuracy": round(tag_summary.mean, 4),
-                "icpda_accuracy": round(icpda_summary.mean, 4)
-                if icpda_summary.trials
-                else None,
-                "icpda_participation": round(
-                    sum(participation) / len(participation), 4
-                ),
-                "icpda_rejected": icpda_summary.rejected,
-                "trials": trials,
-            }
+    return run_serial(
+        accuracy_spec(
+            sizes=sizes,
+            trials=trials,
+            config=config,
+            workload=workload,
+            base_seed=base_seed,
         )
-    return rows
+    )
+
+
+def aggregate_comparison_cell(params: dict, seed: int, context: dict) -> dict:
+    """One iCPDA round with one aggregate function."""
+    cfg = IcpdaConfig(aggregate_name=params["aggregate"])
+    result, _ = run_icpda_round(context["num_nodes"], cfg, seed=seed)
+    return {
+        "aggregate": params["aggregate"],
+        "verdict": result.verdict.value,
+        "value": result.value,
+        "true_value": round(result.true_value, 2),
+        "accuracy": round(result.accuracy, 4)
+        if result.verdict.accepted
+        else None,
+    }
+
+
+def aggregate_comparison_spec(
+    num_nodes: int = 400,
+    aggregates: Sequence[str] = ("sum", "count", "average", "variance"),
+    seed: int = 0,
+) -> ExperimentSpec:
+    """Cells: one per aggregate function on the same deployment."""
+    cells = tuple(CellSpec({"aggregate": name}, seed) for name in aggregates)
+    return ExperimentSpec(
+        "F4-aggregates",
+        aggregate_comparison_cell,
+        cells,
+        lambda outcomes: [o.value for o in outcomes],
+        context={"num_nodes": num_nodes},
+    )
 
 
 def run_aggregate_comparison(
@@ -75,19 +150,8 @@ def run_aggregate_comparison(
     """Accuracy of every supported aggregate function on one network —
     demonstrates that the share algebra carries arbitrary additive
     aggregates exactly (residual error is pure data loss)."""
-    rows: List[dict] = []
-    for name in aggregates:
-        cfg = IcpdaConfig(aggregate_name=name)
-        result, _ = run_icpda_round(num_nodes, cfg, seed=seed)
-        rows.append(
-            {
-                "aggregate": name,
-                "verdict": result.verdict.value,
-                "value": result.value,
-                "true_value": round(result.true_value, 2),
-                "accuracy": round(result.accuracy, 4)
-                if result.verdict.accepted
-                else None,
-            }
+    return run_serial(
+        aggregate_comparison_spec(
+            num_nodes=num_nodes, aggregates=aggregates, seed=seed
         )
-    return rows
+    )

@@ -4,12 +4,21 @@ Usage::
 
     python -m repro.experiments list
     python -m repro.experiments run T1 [--out results/]
-    python -m repro.experiments run F4 --quick
+    python -m repro.experiments run F4 --quick --jobs 4
+    python -m repro.experiments run-all --quick --jobs 4 --resume
 
 ``--quick`` shrinks sweeps/trials to smoke-test scale; the default
 parameters match the benchmark harness. Results print as tables and,
-with ``--out``, persist as JSON artifacts (see
+with ``--out``, persist as JSON artifacts plus a run manifest (see
 :mod:`repro.experiments.io`).
+
+Every experiment is decomposed into independent ``(sweep point, trial)``
+cells (:mod:`repro.experiments.engine`); ``--jobs N`` fans the cells of
+each experiment across N worker processes, ``--timeout`` bounds each
+cell (one retry), and ``--resume`` reuses the on-disk cell cache so an
+interrupted sweep picks up where it left off. Artifact rows are
+identical at any ``--jobs`` level because every cell carries its own
+seed.
 """
 
 from __future__ import annotations
@@ -19,145 +28,163 @@ import pathlib
 import sys
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.experiments.io import save_rows
+from repro.experiments.engine import (
+    ExperimentSpec,
+    collect_rows,
+    execute,
+    failure_rows,
+)
+from repro.experiments.io import save_manifest, save_rows
 from repro.metrics.report import render_table
 
-#: experiment id -> (description, full runner, quick runner)
-Runner = Callable[[], List[dict]]
+#: experiment id -> (description, full spec builder, quick spec builder)
+SpecBuilder = Callable[[], ExperimentSpec]
 
 
-def _registry() -> Dict[str, Tuple[str, Runner, Runner]]:
-    from repro.experiments.ablation import (
-        run_cluster_size_ablation,
-        run_witness_ablation,
-    )
-    from repro.experiments.accuracy import run_accuracy_experiment
-    from repro.experiments.coverage import run_coverage_experiment
-    from repro.experiments.density import run_density_table
-    from repro.experiments.detection import (
-        run_collusion_boundary,
-        run_detection_experiment,
-    )
-    from repro.experiments.compare_schemes import run_scheme_comparison
-    from repro.experiments.election import run_election_ablation
-    from repro.experiments.fading import run_fading_experiment
-    from repro.experiments.integrity_cost import run_integrity_cost_experiment
-    from repro.experiments.keymgmt import run_eg_experiment
-    from repro.experiments.latency import run_latency_experiment
-    from repro.experiments.lifetime import run_lifetime_experiment
-    from repro.experiments.localization import run_localization_experiment
-    from repro.experiments.overhead import run_overhead_experiment
-    from repro.experiments.privacy import run_privacy_experiment
-    from repro.experiments.threshold import run_threshold_experiment
+def _registry() -> Dict[str, Tuple[str, SpecBuilder, SpecBuilder]]:
+    from repro.experiments.ablation import cluster_size_spec, witness_spec
+    from repro.experiments.accuracy import accuracy_spec
+    from repro.experiments.compare_schemes import compare_spec
+    from repro.experiments.coverage import coverage_spec
+    from repro.experiments.density import density_spec
+    from repro.experiments.detection import collusion_spec, detection_spec
+    from repro.experiments.election import election_spec
+    from repro.experiments.fading import fading_spec
+    from repro.experiments.integrity_cost import integrity_cost_spec
+    from repro.experiments.keymgmt import eg_spec
+    from repro.experiments.latency import latency_spec
+    from repro.experiments.lifetime import lifetime_spec
+    from repro.experiments.localization import localization_spec
+    from repro.experiments.overhead import overhead_spec
+    from repro.experiments.privacy import privacy_spec
+    from repro.experiments.threshold import threshold_spec
 
     return {
         "T1": (
             "network size vs average degree",
-            lambda: run_density_table(),
-            lambda: run_density_table(sizes=(100, 200), trials=2),
+            lambda: density_spec(),
+            lambda: density_spec(sizes=(100, 200), trials=2),
         ),
         "F1": (
             "cluster coverage vs network size",
-            lambda: run_coverage_experiment(),
-            lambda: run_coverage_experiment(sizes=(150,), trials=1),
+            lambda: coverage_spec(),
+            lambda: coverage_spec(sizes=(150,), trials=1),
         ),
         "F2": (
             "privacy capacity vs p_x",
-            lambda: run_privacy_experiment(),
-            lambda: run_privacy_experiment(
+            lambda: privacy_spec(),
+            lambda: privacy_spec(
                 cluster_sizes=(3,), px_grid=(0.05,), num_nodes=150, draws=50
             ),
         ),
         "F3": (
             "communication overhead vs size",
-            lambda: run_overhead_experiment(),
-            lambda: run_overhead_experiment(
-                sizes=(150,), cluster_sizes=(3,), trials=1
-            ),
+            lambda: overhead_spec(),
+            lambda: overhead_spec(sizes=(150,), cluster_sizes=(3,), trials=1),
         ),
         "F4": (
             "accuracy vs size, TAG vs iCPDA",
-            lambda: run_accuracy_experiment(),
-            lambda: run_accuracy_experiment(sizes=(150,), trials=1),
+            lambda: accuracy_spec(),
+            lambda: accuracy_spec(sizes=(150,), trials=1),
         ),
         "F5": (
             "Th selection",
-            lambda: run_threshold_experiment()["th_table"],
-            lambda: run_threshold_experiment(num_nodes=150, trials=3)["th_table"],
+            lambda: threshold_spec(),
+            lambda: threshold_spec(num_nodes=150, trials=3),
         ),
         "F6": (
             "pollution detection vs attackers",
-            lambda: run_detection_experiment(),
-            lambda: run_detection_experiment(
-                attacker_counts=(1,), num_nodes=150, trials=1
-            ),
+            lambda: detection_spec(),
+            lambda: detection_spec(attacker_counts=(1,), num_nodes=150, trials=1),
         ),
         "F7": (
             "attacker localization rounds",
-            lambda: run_localization_experiment(),
-            lambda: run_localization_experiment(sizes=(150,), trials=1),
+            lambda: localization_spec(),
+            lambda: localization_spec(sizes=(150,), trials=1),
         ),
         "F8": (
             "latency and energy vs size",
-            lambda: run_latency_experiment(),
-            lambda: run_latency_experiment(sizes=(150,)),
+            lambda: latency_spec(),
+            lambda: latency_spec(sizes=(150,)),
         ),
         "F9": (
             "scheme comparison: TAG vs slicing vs iCPDA",
-            lambda: run_scheme_comparison(),
-            lambda: run_scheme_comparison(num_nodes=150),
+            lambda: compare_spec(),
+            lambda: compare_spec(num_nodes=150),
         ),
         "F10": (
             "network lifetime under an energy budget",
-            lambda: run_lifetime_experiment(),
-            lambda: run_lifetime_experiment(
-                num_nodes=100, capacity_j=0.8, max_rounds=10
-            ),
+            lambda: lifetime_spec(),
+            lambda: lifetime_spec(num_nodes=100, capacity_j=0.8, max_rounds=10),
         ),
         "A1": (
             "witness-fraction ablation",
-            lambda: run_witness_ablation(),
-            lambda: run_witness_ablation(
-                fractions=(1.0,), num_nodes=150, trials=1
-            ),
+            lambda: witness_spec(),
+            lambda: witness_spec(fractions=(1.0,), num_nodes=150, trials=1),
         ),
         "A2": (
             "cluster-size ablation",
-            lambda: run_cluster_size_ablation(),
-            lambda: run_cluster_size_ablation(
-                cluster_sizes=(3,), num_nodes=150
-            ),
+            lambda: cluster_size_spec(),
+            lambda: cluster_size_spec(cluster_sizes=(3,), num_nodes=150),
         ),
         "A3": (
             "collusion boundary",
-            lambda: run_collusion_boundary(),
-            lambda: run_collusion_boundary(num_nodes=150, trials=1),
+            lambda: collusion_spec(),
+            lambda: collusion_spec(num_nodes=150, trials=1),
         ),
         "A4": (
             "EG key predistribution ablation",
-            lambda: run_eg_experiment(),
-            lambda: run_eg_experiment(
-                ring_sizes=(40,), num_nodes=150
-            ),
-        ),
-        "A7": (
-            "integrity layer cost and value",
-            lambda: run_integrity_cost_experiment(),
-            lambda: run_integrity_cost_experiment(num_nodes=150),
+            lambda: eg_spec(),
+            lambda: eg_spec(ring_sizes=(40,), num_nodes=150),
         ),
         "A5": (
             "fixed vs adaptive head election",
-            lambda: run_election_ablation(),
-            lambda: run_election_ablation(sizes=(150,)),
+            lambda: election_spec(),
+            lambda: election_spec(sizes=(150,)),
         ),
         "A6": (
             "robustness under channel fading",
-            lambda: run_fading_experiment(),
-            lambda: run_fading_experiment(
-                fading_levels=(0.0, 0.4), num_nodes=150
-            ),
+            lambda: fading_spec(),
+            lambda: fading_spec(fading_levels=(0.0, 0.4), num_nodes=150),
+        ),
+        "A7": (
+            "integrity layer cost and value",
+            lambda: integrity_cost_spec(),
+            lambda: integrity_cost_spec(num_nodes=150),
         ),
     }
+
+
+def _add_run_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--quick", action="store_true", help="smoke-test scale")
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None, help="JSON output directory"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per experiment (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget; a timed-out cell is retried once",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse cached cell results from a previous (interrupted) run",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=None,
+        help="cell cache location (default: <out>/.cellcache)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -169,17 +196,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub.add_parser("list", help="list experiment ids")
     run_parser = sub.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", help="experiment id, e.g. T1 or F4")
-    run_parser.add_argument(
-        "--quick", action="store_true", help="smoke-test scale"
-    )
-    run_parser.add_argument(
-        "--out", type=pathlib.Path, default=None, help="JSON output directory"
-    )
+    _add_run_flags(run_parser)
     all_parser = sub.add_parser(
         "run-all", help="run every experiment in sequence"
     )
-    all_parser.add_argument("--quick", action="store_true")
-    all_parser.add_argument("--out", type=pathlib.Path, default=None)
+    _add_run_flags(all_parser)
     args = parser.parse_args(argv)
     registry = _registry()
 
@@ -188,10 +209,32 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{exp_id:4} {description}")
         return 0
 
+    # Cache cells under the output directory by default; without --out
+    # (nothing persists anyway) only an explicit --cache-dir enables it.
+    cache_dir = args.cache_dir
+    if cache_dir is None and args.out is not None:
+        cache_dir = args.out / ".cellcache"
+
     def run_one(exp_id: str) -> int:
         description, full, quick = registry[exp_id]
-        rows = (quick if args.quick else full)()
+        spec = (quick if args.quick else full)()
+        report = execute(
+            spec,
+            jobs=args.jobs,
+            timeout_s=args.timeout,
+            resume=args.resume,
+            cache_dir=cache_dir,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+        rows = collect_rows(spec, report) + failure_rows(report)
         print(render_table(rows, title=f"{exp_id}: {description}"))
+        manifest = report.manifest()
+        print(
+            f"cells: {report.done}/{report.total} ok"
+            f" ({report.cached} cached, {report.failed} failed)"
+            f" in {report.wall_clock_s:.2f}s",
+            file=sys.stderr,
+        )
         if args.out is not None:
             artifact = save_rows(
                 args.out / f"{exp_id.lower()}.json",
@@ -199,13 +242,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                 rows,
                 parameters={"quick": args.quick},
             )
+            save_manifest(args.out / f"{exp_id.lower()}.manifest.json", manifest)
             print(f"\nsaved: {artifact}")
-        return 0
+        return 1 if report.failed else 0
 
     if args.command == "run-all":
+        failures: List[str] = []
         for exp_id in sorted(registry):
             print(f"\n=== {exp_id} ===")
-            run_one(exp_id)
+            try:
+                if run_one(exp_id) != 0:
+                    failures.append(f"{exp_id}: cell failures (see artifact)")
+            except Exception as error:  # keep going; report at the end
+                failures.append(f"{exp_id}: {type(error).__name__}: {error}")
+                print(f"{exp_id} FAILED: {error}", file=sys.stderr)
+        if failures:
+            print("\nrun-all: FAILED experiments:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print("\nrun-all: all experiments completed")
         return 0
 
     exp_id = args.experiment.upper()

@@ -24,10 +24,14 @@ from repro.core.protocol import IcpdaProtocol
 from repro.crypto.adversary_keys import LinkBreakModel
 from repro.crypto.keys import PairwiseKeyScheme
 from repro.crypto.linksec import LinkSecurity
+from repro.experiments.engine import CellSpec, ExperimentSpec, run_serial
 from repro.metrics.privacy import DisclosureStats
 from repro.net.stack import NetworkStack
 from repro.sim.kernel import Simulator
 from repro.topology.deploy import uniform_deployment
+
+#: The schemes the comparison table reports, in row order.
+SCHEMES = ("tag", "slicing_l2", "slicing_l3", "icpda")
 
 
 def _mc_disclosure(log_owner, p_x: float, seed: int, draws: int = 100) -> float:
@@ -40,36 +44,32 @@ def _mc_disclosure(log_owner, p_x: float, seed: int, draws: int = 100) -> float:
     return DisclosureStats.pooled(parts).probability
 
 
-def run_scheme_comparison(
-    num_nodes: int = 300,
-    p_x: float = 0.05,
-    seed: int = 0,
-    config: Optional[IcpdaConfig] = None,
-) -> List[dict]:
-    """Rows: one per scheme (tag, slicing l=2, slicing l=3, icpda)."""
-    cfg = config if config is not None else IcpdaConfig()
+def compare_cell(params: dict, seed: int, context: dict) -> dict:
+    """One scheme on the shared deployment/workload (rebuilt from the
+    same seed in every cell, so cells stay independent)."""
+    scheme = params["scheme"]
+    num_nodes = context["num_nodes"]
+    p_x = context["p_x"]
+    cfg = context["config"]
     rng = np.random.default_rng(seed)
     readings = {i: float(rng.uniform(10.0, 30.0)) for i in range(1, num_nodes)}
     deployment = uniform_deployment(num_nodes, rng=np.random.default_rng(seed + 1))
-    rows: List[dict] = []
 
-    # TAG baseline.
-    sim = Simulator(seed=seed)
-    stack = NetworkStack(sim, deployment)
-    tree = build_aggregation_tree(stack)
-    tag_result = TagProtocol(stack, tree, SumAggregate()).run(readings)
-    rows.append(
-        {
+    if scheme == "tag":
+        sim = Simulator(seed=seed)
+        stack = NetworkStack(sim, deployment)
+        tree = build_aggregation_tree(stack)
+        tag_result = TagProtocol(stack, tree, SumAggregate()).run(readings)
+        return {
             "scheme": "tag",
             "accuracy": round(tag_result.accuracy, 4),
             "bytes": stack.counters.total_bytes,
             "p_disclose": 1.0,  # readings travel in cleartext
             "integrity": "none",
         }
-    )
 
-    # Slicing, l = 2 and 3.
-    for num_slices in (2, 3):
+    if scheme.startswith("slicing_l"):
+        num_slices = int(scheme[len("slicing_l") :])
         sim = Simulator(seed=seed)
         stack = NetworkStack(sim, deployment)
         tree = build_aggregation_tree(stack)
@@ -81,33 +81,55 @@ def run_scheme_comparison(
             num_slices=num_slices,
         )
         result = slicing.run(readings)
-        rows.append(
-            {
-                "scheme": f"slicing_l{num_slices}",
-                "accuracy": round(result.tag.accuracy, 4),
-                "bytes": stack.counters.total_bytes,
-                "p_disclose": round(
-                    _mc_disclosure(result, p_x, seed + num_slices), 5
-                ),
-                "integrity": "none",
-            }
-        )
+        return {
+            "scheme": scheme,
+            "accuracy": round(result.tag.accuracy, 4),
+            "bytes": stack.counters.total_bytes,
+            "p_disclose": round(
+                _mc_disclosure(result, p_x, seed + num_slices), 5
+            ),
+            "integrity": "none",
+        }
 
-    # iCPDA.
     protocol = IcpdaProtocol(deployment, cfg, seed=seed)
     protocol.setup()
     icpda = protocol.run_round(readings)
-    rows.append(
-        {
-            "scheme": "icpda",
-            "accuracy": round(icpda.accuracy, 4)
-            if icpda.verdict.accepted
-            else None,
-            "bytes": protocol.total_bytes(),
-            "p_disclose": round(
-                _mc_disclosure(protocol.last_exchange, p_x, seed + 9), 5
-            ),
-            "integrity": "witnessed+Th",
-        }
+    return {
+        "scheme": "icpda",
+        "accuracy": round(icpda.accuracy, 4) if icpda.verdict.accepted else None,
+        "bytes": protocol.total_bytes(),
+        "p_disclose": round(
+            _mc_disclosure(protocol.last_exchange, p_x, seed + 9), 5
+        ),
+        "integrity": "witnessed+Th",
+    }
+
+
+def compare_spec(
+    num_nodes: int = 300,
+    p_x: float = 0.05,
+    seed: int = 0,
+    config: Optional[IcpdaConfig] = None,
+) -> ExperimentSpec:
+    """Cells: one per scheme; reduce: rows in :data:`SCHEMES` order."""
+    cfg = config if config is not None else IcpdaConfig()
+    cells = tuple(CellSpec({"scheme": scheme}, seed) for scheme in SCHEMES)
+    return ExperimentSpec(
+        "F9",
+        compare_cell,
+        cells,
+        lambda outcomes: [o.value for o in outcomes],
+        context={"num_nodes": num_nodes, "p_x": p_x, "config": cfg},
     )
-    return rows
+
+
+def run_scheme_comparison(
+    num_nodes: int = 300,
+    p_x: float = 0.05,
+    seed: int = 0,
+    config: Optional[IcpdaConfig] = None,
+) -> List[dict]:
+    """Rows: one per scheme (tag, slicing l=2, slicing l=3, icpda)."""
+    return run_serial(
+        compare_spec(num_nodes=num_nodes, p_x=p_x, seed=seed, config=config)
+    )

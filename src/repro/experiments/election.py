@@ -19,6 +19,52 @@ from repro.core.config import IcpdaConfig
 from repro.experiments.common import run_icpda_round
 
 
+def election_cell(params: dict, seed: int, context: dict) -> dict:
+    """One round under one election mode at one size."""
+    cfg = replace(context["config"], election_mode=params["mode"])
+    result, protocol = run_icpda_round(params["nodes"], cfg, seed=seed)
+    clustering = protocol.last_clustering
+    assert clustering is not None
+    active = clustering.active_clusters
+    cluster_sizes = [c.size for c in active]
+    return {
+        "nodes": params["nodes"],
+        "mode": params["mode"],
+        "participation": round(result.participation, 4),
+        "active_clusters": len(active),
+        "mean_cluster_size": round(float(np.mean(cluster_sizes)), 2)
+        if cluster_sizes
+        else None,
+        "cluster_size_std": round(float(np.std(cluster_sizes)), 2)
+        if cluster_sizes
+        else None,
+        "verdict": result.verdict.value,
+    }
+
+
+def election_spec(
+    sizes: Sequence[int] = (150, 300, 500),
+    config: Optional[IcpdaConfig] = None,
+    base_seed: int = 0,
+):
+    """Cells: one per ``(size, election mode)`` on the same deployment."""
+    from repro.experiments.engine import CellSpec, ExperimentSpec
+
+    base = config if config is not None else IcpdaConfig()
+    cells = tuple(
+        CellSpec({"nodes": size, "mode": mode}, base_seed + size)
+        for size in sizes
+        for mode in ("fixed", "adaptive")
+    )
+    return ExperimentSpec(
+        "A5",
+        election_cell,
+        cells,
+        lambda outcomes: [o.value for o in outcomes],
+        context={"config": base},
+    )
+
+
 def run_election_ablation(
     sizes: Sequence[int] = (150, 300, 500),
     config: Optional[IcpdaConfig] = None,
@@ -26,35 +72,8 @@ def run_election_ablation(
 ) -> List[dict]:
     """Rows per (size, mode): participation, active clusters, mean and
     spread of active-cluster sizes."""
-    base = config if config is not None else IcpdaConfig()
-    rows: List[dict] = []
-    for size in sizes:
-        for mode in ("fixed", "adaptive"):
-            cfg = replace(base, election_mode=mode)
-            result, protocol = run_icpda_round(
-                size, cfg, seed=base_seed + size
-            )
-            clustering = protocol.last_clustering
-            assert clustering is not None
-            active = clustering.active_clusters
-            cluster_sizes = [c.size for c in active]
-            rows.append(
-                {
-                    "nodes": size,
-                    "mode": mode,
-                    "participation": round(result.participation, 4),
-                    "active_clusters": len(active),
-                    "mean_cluster_size": round(
-                        float(np.mean(cluster_sizes)), 2
-                    )
-                    if cluster_sizes
-                    else None,
-                    "cluster_size_std": round(
-                        float(np.std(cluster_sizes)), 2
-                    )
-                    if cluster_sizes
-                    else None,
-                    "verdict": result.verdict.value,
-                }
-            )
-    return rows
+    from repro.experiments.engine import run_serial
+
+    return run_serial(
+        election_spec(sizes=sizes, config=config, base_seed=base_seed)
+    )

@@ -26,6 +26,57 @@ from repro.sim.kernel import Simulator
 from repro.topology.deploy import uniform_deployment
 
 
+def fading_cell(params: dict, seed: int, context: dict) -> dict:
+    """One fading level: paired TAG/iCPDA rounds on the shared
+    deployment (rebuilt deterministically from the seed per cell)."""
+    fading = params["edge_fading"]
+    num_nodes = context["num_nodes"]
+    cfg = context["config"]
+    deployment = uniform_deployment(num_nodes, rng=np.random.default_rng(seed))
+    readings = make_readings(num_nodes, rng=np.random.default_rng(seed + 1))
+    radio = RadioParams(range_m=deployment.radio_range, edge_fading=fading)
+    sim = Simulator(seed=seed)
+    stack = NetworkStack(sim, deployment, radio=radio)
+    tree = build_aggregation_tree(stack)
+    tag = TagProtocol(stack, tree, SumAggregate()).run(readings)
+
+    protocol = IcpdaProtocol(deployment, cfg, seed=seed, radio=radio)
+    protocol.setup()
+    result = protocol.run_round(readings)
+    return {
+        "edge_fading": fading,
+        "tag_accuracy": round(tag.accuracy, 4),
+        "icpda_accuracy": round(result.accuracy, 4)
+        if result.verdict.accepted
+        else None,
+        "icpda_participation": round(result.participation, 4),
+        "verdict": result.verdict.value,
+        "icpda_faded_frames": protocol.stack.medium.stats.ambient_losses,
+    }
+
+
+def fading_spec(
+    fading_levels: Sequence[float] = (0.0, 0.3, 0.6),
+    num_nodes: int = 250,
+    config: Optional[IcpdaConfig] = None,
+    seed: int = 0,
+):
+    """Cells: one fading level each (same deployment seed throughout)."""
+    from repro.experiments.engine import CellSpec, ExperimentSpec
+
+    cfg = config if config is not None else IcpdaConfig()
+    cells = tuple(
+        CellSpec({"edge_fading": fading}, seed) for fading in fading_levels
+    )
+    return ExperimentSpec(
+        "A6",
+        fading_cell,
+        cells,
+        lambda outcomes: [o.value for o in outcomes],
+        context={"num_nodes": num_nodes, "config": cfg},
+    )
+
+
 def run_fading_experiment(
     fading_levels: Sequence[float] = (0.0, 0.3, 0.6),
     num_nodes: int = 250,
@@ -34,32 +85,13 @@ def run_fading_experiment(
 ) -> List[dict]:
     """Rows per fading level: TAG accuracy, iCPDA accuracy and
     participation, verdict, and channel-level loss counts."""
-    cfg = config if config is not None else IcpdaConfig()
-    rows: List[dict] = []
-    deployment = uniform_deployment(num_nodes, rng=np.random.default_rng(seed))
-    readings = make_readings(num_nodes, rng=np.random.default_rng(seed + 1))
-    for fading in fading_levels:
-        radio = RadioParams(
-            range_m=deployment.radio_range, edge_fading=fading
-        )
-        sim = Simulator(seed=seed)
-        stack = NetworkStack(sim, deployment, radio=radio)
-        tree = build_aggregation_tree(stack)
-        tag = TagProtocol(stack, tree, SumAggregate()).run(readings)
+    from repro.experiments.engine import run_serial
 
-        protocol = IcpdaProtocol(deployment, cfg, seed=seed, radio=radio)
-        protocol.setup()
-        result = protocol.run_round(readings)
-        rows.append(
-            {
-                "edge_fading": fading,
-                "tag_accuracy": round(tag.accuracy, 4),
-                "icpda_accuracy": round(result.accuracy, 4)
-                if result.verdict.accepted
-                else None,
-                "icpda_participation": round(result.participation, 4),
-                "verdict": result.verdict.value,
-                "icpda_faded_frames": protocol.stack.medium.stats.ambient_losses,
-            }
+    return run_serial(
+        fading_spec(
+            fading_levels=fading_levels,
+            num_nodes=num_nodes,
+            config=config,
+            seed=seed,
         )
-    return rows
+    )

@@ -22,6 +22,80 @@ from repro.experiments.common import make_readings
 from repro.topology.deploy import uniform_deployment
 
 
+def integrity_cell(params: dict, seed: int, context: dict) -> dict:
+    """One integrity mode: clean + attacked rounds on the shared
+    deployment (the attacker head is re-scouted deterministically)."""
+    mode = params["mode"]
+    num_nodes = context["num_nodes"]
+    base = context["config"]
+    deployment = uniform_deployment(num_nodes, rng=np.random.default_rng(seed))
+    readings = make_readings(num_nodes, rng=np.random.default_rng(seed + 1))
+    truth = sum(readings.values())
+
+    # Pick the attacker head from a witnessed dry run — deterministic at
+    # a fixed seed, so every mode cell attacks the same head.
+    scout = IcpdaProtocol(deployment, base, seed=seed)
+    scout.setup()
+    scout.run_round(readings)
+    heads = [h for h in scout.last_exchange.completed_clusters if h != 0]
+    attacker = heads[len(heads) // 2]
+
+    cfg = replace(base, integrity_mode=mode)
+    clean = IcpdaProtocol(deployment, cfg, seed=seed)
+    clean.setup()
+    clean_result = clean.run_round(readings)
+
+    attack = PollutionAttack(
+        {attacker},
+        TamperStrategy.NAIVE_TOTAL,
+        magnitude=context["tamper_magnitude"],
+    )
+    attacked = IcpdaProtocol(deployment, cfg, seed=seed, attack_plan=attack)
+    attacked.setup()
+    attacked_result = attacked.run_round(readings)
+
+    accepted_error = None
+    if attacked_result.verdict.accepted and attack.acted():
+        accepted_error = round(abs(attacked_result.value - truth) / truth, 3)
+    return {
+        "mode": mode,
+        "bytes": clean.total_bytes(),
+        "mJ_per_node": round(
+            clean.stack.energy.report().total_j / num_nodes * 1000, 2
+        ),
+        "clean_verdict": clean_result.verdict.value,
+        "attacked_verdict": attacked_result.verdict.value,
+        "attack_acted": attack.acted(),
+        "accepted_error": accepted_error,
+    }
+
+
+def integrity_cost_spec(
+    num_nodes: int = 250,
+    config: Optional[IcpdaConfig] = None,
+    seed: int = 0,
+    tamper_magnitude: int = 10_000_000,
+):
+    """Cells: one per integrity mode."""
+    from repro.experiments.engine import CellSpec, ExperimentSpec
+
+    base = config if config is not None else IcpdaConfig()
+    cells = tuple(
+        CellSpec({"mode": mode}, seed) for mode in ("witnessed", "none")
+    )
+    return ExperimentSpec(
+        "A7",
+        integrity_cell,
+        cells,
+        lambda outcomes: [o.value for o in outcomes],
+        context={
+            "num_nodes": num_nodes,
+            "config": base,
+            "tamper_magnitude": tamper_magnitude,
+        },
+    )
+
+
 def run_integrity_cost_experiment(
     num_nodes: int = 250,
     config: Optional[IcpdaConfig] = None,
@@ -30,50 +104,13 @@ def run_integrity_cost_experiment(
 ) -> List[dict]:
     """Rows per mode: bytes, mJ/node, clean verdict, attacked verdict,
     and the attacked round's reported error when it was accepted."""
-    base = config if config is not None else IcpdaConfig()
-    deployment = uniform_deployment(num_nodes, rng=np.random.default_rng(seed))
-    readings = make_readings(num_nodes, rng=np.random.default_rng(seed + 1))
-    truth = sum(readings.values())
+    from repro.experiments.engine import run_serial
 
-    # Pick an attacker head once, from a witnessed dry run.
-    scout = IcpdaProtocol(deployment, base, seed=seed)
-    scout.setup()
-    scout.run_round(readings)
-    heads = [h for h in scout.last_exchange.completed_clusters if h != 0]
-    attacker = heads[len(heads) // 2]
-
-    rows: List[dict] = []
-    for mode in ("witnessed", "none"):
-        cfg = replace(base, integrity_mode=mode)
-        clean = IcpdaProtocol(deployment, cfg, seed=seed)
-        clean.setup()
-        clean_result = clean.run_round(readings)
-
-        attack = PollutionAttack(
-            {attacker}, TamperStrategy.NAIVE_TOTAL, magnitude=tamper_magnitude
+    return run_serial(
+        integrity_cost_spec(
+            num_nodes=num_nodes,
+            config=config,
+            seed=seed,
+            tamper_magnitude=tamper_magnitude,
         )
-        attacked = IcpdaProtocol(
-            deployment, cfg, seed=seed, attack_plan=attack
-        )
-        attacked.setup()
-        attacked_result = attacked.run_round(readings)
-
-        accepted_error = None
-        if attacked_result.verdict.accepted and attack.acted():
-            accepted_error = round(
-                abs(attacked_result.value - truth) / truth, 3
-            )
-        rows.append(
-            {
-                "mode": mode,
-                "bytes": clean.total_bytes(),
-                "mJ_per_node": round(
-                    clean.stack.energy.report().total_j / num_nodes * 1000, 2
-                ),
-                "clean_verdict": clean_result.verdict.value,
-                "attacked_verdict": attacked_result.verdict.value,
-                "attack_acted": attack.acted(),
-                "accepted_error": accepted_error,
-            }
-        )
-    return rows
+    )

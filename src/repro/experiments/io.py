@@ -3,11 +3,18 @@
 Every saved artifact records the experiment id, library version, and
 the parameters that produced it, so a results directory is
 self-describing and re-runs can be compared mechanically.
+
+Artifacts are **strict JSON**: non-finite floats (NaN, ±Infinity) are
+serialized as ``null`` — bare ``NaN``/``Infinity`` tokens are a Python
+extension that jq and most other parsers reject, which would break the
+"compared mechanically" contract. :func:`load_rows` still tolerates
+legacy artifacts containing those tokens by reading them as ``null``.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 from typing import Any, Dict, List, Optional, Sequence, Union
 
@@ -18,6 +25,24 @@ PathLike = Union[str, pathlib.Path]
 
 #: Current artifact schema version.
 SCHEMA_VERSION = 1
+
+
+def sanitize_json(value: Any) -> Any:
+    """Canonicalize a value for strict-JSON persistence.
+
+    Non-finite floats become ``None``; tuples become lists; mappings
+    and sequences are walked recursively. Anything else passes through
+    untouched (``json.dumps`` will reject it loudly if unserializable).
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: sanitize_json(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize_json(item) for item in value]
+    return value
 
 
 def save_rows(
@@ -34,15 +59,17 @@ def save_rows(
         If a row is not JSON-serializable.
     """
     path = pathlib.Path(path)
-    document = {
-        "schema": SCHEMA_VERSION,
-        "experiment": experiment,
-        "library_version": __version__,
-        "parameters": dict(parameters or {}),
-        "rows": list(rows),
-    }
+    document = sanitize_json(
+        {
+            "schema": SCHEMA_VERSION,
+            "experiment": experiment,
+            "library_version": __version__,
+            "parameters": dict(parameters or {}),
+            "rows": list(rows),
+        }
+    )
     try:
-        text = json.dumps(document, indent=2, sort_keys=True, allow_nan=True)
+        text = json.dumps(document, indent=2, sort_keys=True, allow_nan=False)
     except (TypeError, ValueError) as error:
         raise ReproError(f"rows for {experiment!r} not serializable: {error}")
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -61,7 +88,9 @@ def load_rows(path: PathLike) -> Dict[str, Any]:
     path = pathlib.Path(path)
     if not path.exists():
         raise ReproError(f"no results artifact at {path}")
-    document = json.loads(path.read_text())
+    # parse_constant: legacy artifacts wrote bare NaN/Infinity tokens;
+    # read them as null, the strict encoding save_rows now emits.
+    document = json.loads(path.read_text(), parse_constant=lambda token: None)
     if document.get("schema") != SCHEMA_VERSION:
         raise ReproError(
             f"artifact schema {document.get('schema')} != {SCHEMA_VERSION}"
@@ -82,7 +111,9 @@ def diff_rows(
     difference descriptions (empty = equivalent within tolerance).
 
     Numeric fields compare with relative tolerance; everything else
-    compares exactly. Extra/missing rows are reported, not raised.
+    compares exactly. Non-finite floats compare as their persisted
+    encoding (``None``), so an in-memory NaN row matches its reloaded
+    artifact. Extra/missing rows are reported, not raised.
     """
     differences: List[str] = []
     if len(old) != len(new):
@@ -93,7 +124,12 @@ def diff_rows(
             if key not in row_old or key not in row_new:
                 differences.append(f"row {index}: field {key!r} appeared/vanished")
                 continue
-            a, b = row_old[key], row_new[key]
+            a = sanitize_json(row_old[key])
+            b = sanitize_json(row_new[key])
+            if a is None or b is None:
+                if a is not b:
+                    differences.append(f"row {index}: {key} {a!r} -> {b!r}")
+                continue
             if isinstance(a, (int, float)) and isinstance(b, (int, float)):
                 scale = max(abs(float(a)), abs(float(b)), 1e-12)
                 if abs(float(a) - float(b)) / scale > rel_tolerance:
@@ -101,3 +137,15 @@ def diff_rows(
             elif a != b:
                 differences.append(f"row {index}: {key} {a!r} -> {b!r}")
     return differences
+
+
+def save_manifest(path: PathLike, manifest: Dict[str, Any]) -> pathlib.Path:
+    """Persist an engine run manifest (cells total/done/failed/cached,
+    wall-clock) next to its artifact, as strict JSON."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(
+        sanitize_json(manifest), indent=2, sort_keys=True, allow_nan=False
+    )
+    path.write_text(text + "\n")
+    return path

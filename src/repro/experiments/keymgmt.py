@@ -40,6 +40,83 @@ def provision_eg_linksec(
     return LinkSecurity(scheme)
 
 
+def eg_cell(params: dict, seed: int, context: dict) -> dict:
+    """One ring size: a full round under EG keys + the capture attack."""
+    ring_size = params["ring_size"]
+    num_nodes = context["num_nodes"]
+    cfg = context["config"]
+    rng = np.random.default_rng(seed)
+    deployment = uniform_deployment(num_nodes, rng=rng)
+    linksec = provision_eg_linksec(
+        num_nodes, context["pool_size"], ring_size, np.random.default_rng(seed + 1)
+    )
+    protocol = IcpdaProtocol(deployment, cfg, seed=seed, linksec=linksec)
+    protocol.setup()
+    readings = make_readings(num_nodes, rng=np.random.default_rng(seed + 2))
+    result = protocol.run_round(readings)
+    exchange = protocol.last_exchange
+    assert exchange is not None
+    key_aborts = sum(
+        1
+        for s in exchange.states.values()
+        if s.aborted_reason == "no_shared_key"
+    )
+
+    # Capture one node's ring and measure the third-party leak.
+    scheme = linksec.scheme
+    assert isinstance(scheme, RandomPredistributionScheme)
+    captured = num_nodes // 2
+    adversary_ring = KeyRing(scheme.ring(captured).as_frozenset())
+    links = {
+        tuple(sorted((t.origin, t.recipient)))
+        for t in exchange.share_log
+    }
+    hop_links = {
+        hop for t in exchange.share_log for hop in t.links
+    }
+    model = LinkBreakModel.from_eg_overlap(
+        scheme,
+        adversary_ring,
+        {tuple(sorted(h)) for h in hop_links} | links,
+    )
+    stats, _ = EavesdropAnalysis(
+        exchange, model, colluders={captured}
+    ).run()
+
+    return {
+        "ring_size": ring_size,
+        "connect_prob": round(scheme.connect_probability(), 4),
+        "participation": round(result.participation, 4),
+        "key_aborts": key_aborts,
+        "verdict": result.verdict.value,
+        "captured_ring_disclosure": round(stats.probability, 4),
+    }
+
+
+def eg_spec(
+    ring_sizes: Sequence[int] = (8, 15, 25, 40),
+    pool_size: int = 200,
+    num_nodes: int = 250,
+    config: Optional[IcpdaConfig] = None,
+    base_seed: int = 0,
+):
+    """Cells: one full EG round per ring size."""
+    from repro.experiments.engine import CellSpec, ExperimentSpec
+
+    cfg = config if config is not None else IcpdaConfig()
+    cells = tuple(
+        CellSpec({"ring_size": ring_size}, base_seed + ring_size)
+        for ring_size in ring_sizes
+    )
+    return ExperimentSpec(
+        "A4",
+        eg_cell,
+        cells,
+        lambda outcomes: [o.value for o in outcomes],
+        context={"num_nodes": num_nodes, "pool_size": pool_size, "config": cfg},
+    )
+
+
 def run_eg_experiment(
     ring_sizes: Sequence[int] = (8, 15, 25, 40),
     pool_size: int = 200,
@@ -50,56 +127,14 @@ def run_eg_experiment(
     """Rows per ring size: analytic ring-overlap probability,
     participation under EG keys, clusters aborted for missing keys, and
     the empirical disclosure a single captured ring achieves."""
-    cfg = config if config is not None else IcpdaConfig()
-    rows: List[dict] = []
-    for ring_size in ring_sizes:
-        seed = base_seed + ring_size
-        rng = np.random.default_rng(seed)
-        deployment = uniform_deployment(num_nodes, rng=rng)
-        linksec = provision_eg_linksec(
-            num_nodes, pool_size, ring_size, np.random.default_rng(seed + 1)
-        )
-        protocol = IcpdaProtocol(deployment, cfg, seed=seed, linksec=linksec)
-        protocol.setup()
-        readings = make_readings(num_nodes, rng=np.random.default_rng(seed + 2))
-        result = protocol.run_round(readings)
-        exchange = protocol.last_exchange
-        assert exchange is not None
-        key_aborts = sum(
-            1
-            for s in exchange.states.values()
-            if s.aborted_reason == "no_shared_key"
-        )
+    from repro.experiments.engine import run_serial
 
-        # Capture one node's ring and measure the third-party leak.
-        scheme = linksec.scheme
-        assert isinstance(scheme, RandomPredistributionScheme)
-        captured = num_nodes // 2
-        adversary_ring = KeyRing(scheme.ring(captured).as_frozenset())
-        links = {
-            tuple(sorted((t.origin, t.recipient)))
-            for t in exchange.share_log
-        }
-        hop_links = {
-            hop for t in exchange.share_log for hop in t.links
-        }
-        model = LinkBreakModel.from_eg_overlap(
-            scheme,
-            adversary_ring,
-            {tuple(sorted(h)) for h in hop_links} | links,
+    return run_serial(
+        eg_spec(
+            ring_sizes=ring_sizes,
+            pool_size=pool_size,
+            num_nodes=num_nodes,
+            config=config,
+            base_seed=base_seed,
         )
-        stats, _ = EavesdropAnalysis(
-            exchange, model, colluders={captured}
-        ).run()
-
-        rows.append(
-            {
-                "ring_size": ring_size,
-                "connect_prob": round(scheme.connect_probability(), 4),
-                "participation": round(result.participation, 4),
-                "key_aborts": key_aborts,
-                "verdict": result.verdict.value,
-                "captured_ring_disclosure": round(stats.probability, 4),
-            }
-        )
-    return rows
+    )

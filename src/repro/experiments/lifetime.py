@@ -189,6 +189,62 @@ def run_tag_lifetime(
     }
 
 
+#: The schemes the lifetime table reports, in row order.
+LIFETIME_SCHEMES = ("tag", "icpda", "icpda+rebuild")
+
+
+def lifetime_cell(params: dict, seed: int, context: dict) -> dict:
+    """One scheme's full lifetime run, summarized to a table row."""
+    kwargs = dict(
+        num_nodes=context["num_nodes"],
+        capacity_j=context["capacity_j"],
+        max_rounds=context["max_rounds"],
+        seed=seed,
+        field_size=context["field_size"],
+    )
+    if params["scheme"] == "tag":
+        outcome = run_tag_lifetime(**kwargs)
+    else:
+        outcome = run_icpda_lifetime(
+            rebuild_on_failure=params["scheme"] == "icpda+rebuild", **kwargs
+        )
+    return {
+        "scheme": outcome["scheme"],
+        "first_death_round": outcome["first_death_round"],
+        "rounds_survived": outcome["rounds_survived"],
+        "failed_at_round": outcome["failed_at_round"],
+        "rebuilds": outcome.get("rebuilds", 0),
+        "readings_delivered": outcome["readings_delivered"],
+    }
+
+
+def lifetime_spec(
+    num_nodes: int = 150,
+    capacity_j: float = 2.0,
+    max_rounds: int = 40,
+    seed: int = 0,
+    field_size: float = 400.0,
+):
+    """Cells: one full lifetime run per scheme."""
+    from repro.experiments.engine import CellSpec, ExperimentSpec
+
+    cells = tuple(
+        CellSpec({"scheme": scheme}, seed) for scheme in LIFETIME_SCHEMES
+    )
+    return ExperimentSpec(
+        "F10",
+        lifetime_cell,
+        cells,
+        lambda outcomes: [o.value for o in outcomes],
+        context={
+            "num_nodes": num_nodes,
+            "capacity_j": capacity_j,
+            "max_rounds": max_rounds,
+            "field_size": field_size,
+        },
+    )
+
+
 def run_lifetime_experiment(
     num_nodes: int = 150,
     capacity_j: float = 2.0,
@@ -197,31 +253,14 @@ def run_lifetime_experiment(
     field_size: float = 400.0,
 ) -> List[dict]:
     """Summary rows for both schemes under the same battery budget."""
-    rows = []
-    for outcome in (
-        run_tag_lifetime(
-            num_nodes, capacity_j, max_rounds, seed, field_size=field_size
-        ),
-        run_icpda_lifetime(
-            num_nodes, capacity_j, max_rounds, seed=seed, field_size=field_size
-        ),
-        run_icpda_lifetime(
-            num_nodes,
-            capacity_j,
-            max_rounds,
+    from repro.experiments.engine import run_serial
+
+    return run_serial(
+        lifetime_spec(
+            num_nodes=num_nodes,
+            capacity_j=capacity_j,
+            max_rounds=max_rounds,
             seed=seed,
             field_size=field_size,
-            rebuild_on_failure=True,
-        ),
-    ):
-        rows.append(
-            {
-                "scheme": outcome["scheme"],
-                "first_death_round": outcome["first_death_round"],
-                "rounds_survived": outcome["rounds_survived"],
-                "failed_at_round": outcome["failed_at_round"],
-                "rebuilds": outcome.get("rebuilds", 0),
-                "readings_delivered": outcome["readings_delivered"],
-            }
         )
-    return rows
+    )

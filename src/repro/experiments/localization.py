@@ -20,6 +20,7 @@ from repro.core.config import IcpdaConfig
 from repro.core.localization import localize_polluter
 from repro.core.protocol import IcpdaProtocol
 from repro.errors import ReproError
+from repro.experiments.engine import CellSpec, ExperimentSpec, run_serial
 from repro.topology.deploy import uniform_deployment
 
 
@@ -61,6 +62,58 @@ def localize_one(
     return found, outcome.probes_used, bound, len(candidates)
 
 
+def localization_cell(params: dict, seed: int, context: dict) -> dict:
+    """One localization episode as a cell."""
+    found, probes, bound, clusters = localize_one(
+        params["nodes"], seed=seed, config=context["config"]
+    )
+    return {
+        "found": bool(found),
+        "probes": probes,
+        "bound": bound,
+        "clusters": clusters,
+    }
+
+
+def localization_spec(
+    sizes: Sequence[int] = (200, 300, 400),
+    trials: int = 2,
+    config: Optional[IcpdaConfig] = None,
+    base_seed: int = 0,
+) -> ExperimentSpec:
+    """Cells: one per ``(size, trial)``; reduce: per-size success/probe
+    averages against the log2 bound."""
+    sizes = tuple(sizes)
+    cells = tuple(
+        CellSpec({"nodes": size, "trial": trial}, base_seed + trial * 31 + size)
+        for size in sizes
+        for trial in range(trials)
+    )
+
+    def reduce(outcomes) -> List[dict]:
+        rows: List[dict] = []
+        for size in sizes:
+            values = [o.value for o in outcomes if o.params["nodes"] == size]
+            if not values:
+                continue
+            n = len(values)
+            found_count = sum(int(v["found"]) for v in values)
+            rows.append(
+                {
+                    "nodes": size,
+                    "clusters": round(sum(v["clusters"] for v in values) / n, 1),
+                    "isolated_ok": f"{found_count}/{n}",
+                    "mean_probes": round(sum(v["probes"] for v in values) / n, 1),
+                    "log2_bound": round(sum(v["bound"] for v in values) / n, 1),
+                }
+            )
+        return rows
+
+    return ExperimentSpec(
+        "F7", localization_cell, cells, reduce, context={"config": config}
+    )
+
+
 def run_localization_experiment(
     sizes: Sequence[int] = (200, 300, 400),
     trials: int = 2,
@@ -68,27 +121,8 @@ def run_localization_experiment(
     base_seed: int = 0,
 ) -> List[dict]:
     """Rows per size: isolation success rate, mean probes, log2 bound."""
-    rows: List[dict] = []
-    for size in sizes:
-        found_count = 0
-        probes_sum = 0.0
-        bound_sum = 0.0
-        clusters_sum = 0.0
-        for trial in range(trials):
-            found, probes, bound, clusters = localize_one(
-                size, seed=base_seed + trial * 31 + size, config=config
-            )
-            found_count += int(found)
-            probes_sum += probes
-            bound_sum += bound
-            clusters_sum += clusters
-        rows.append(
-            {
-                "nodes": size,
-                "clusters": round(clusters_sum / trials, 1),
-                "isolated_ok": f"{found_count}/{trials}",
-                "mean_probes": round(probes_sum / trials, 1),
-                "log2_bound": round(bound_sum / trials, 1),
-            }
+    return run_serial(
+        localization_spec(
+            sizes=sizes, trials=trials, config=config, base_seed=base_seed
         )
-    return rows
+    )

@@ -9,7 +9,7 @@ cost.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.analysis.overhead import overhead_ratio
 from repro.experiments.common import (
@@ -18,6 +18,85 @@ from repro.experiments.common import (
     run_icpda_round,
     run_tag_round_on,
 )
+from repro.experiments.engine import CellSpec, ExperimentSpec, run_serial
+
+_PHASES = ("clustering", "exchange", "report")
+
+
+def overhead_cell(params: dict, seed: int, context: dict) -> dict:
+    """One round of one scheme: bytes on the air (+ phase breakdown)."""
+    size = params["nodes"]
+    if params["scheme"] == "tag":
+        _, stack = run_tag_round_on(size, seed=seed)
+        return {"bytes": stack.counters.total_bytes}
+    cfg = fixed_cluster_config(params["m"])
+    _, protocol = run_icpda_round(size, cfg, seed=seed)
+    return {
+        "bytes": protocol.total_bytes(),
+        "phases": {phase: protocol.phase_bytes.get(phase, 0) for phase in _PHASES},
+    }
+
+
+def overhead_spec(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    cluster_sizes: Sequence[int] = (3, 4),
+    trials: int = 2,
+    base_seed: int = 0,
+) -> ExperimentSpec:
+    """Cells: per size, one TAG cell per trial and one iCPDA cell per
+    (cluster size, trial); reduce: the combined per-size row."""
+    sizes = tuple(sizes)
+    cluster_sizes = tuple(cluster_sizes)
+    cells: List[CellSpec] = []
+    for size in sizes:
+        for trial in range(trials):
+            cells.append(
+                CellSpec(
+                    {"nodes": size, "scheme": "tag", "trial": trial},
+                    base_seed + trial * 101 + size,
+                )
+            )
+        for m in cluster_sizes:
+            for trial in range(trials):
+                cells.append(
+                    CellSpec(
+                        {"nodes": size, "scheme": "icpda", "m": m, "trial": trial},
+                        base_seed + trial * 101 + size,
+                    )
+                )
+
+    def reduce(outcomes) -> List[dict]:
+        rows: List[dict] = []
+        for size in sizes:
+            tag_values = [
+                o.value
+                for o in outcomes
+                if o.params["nodes"] == size and o.params["scheme"] == "tag"
+            ]
+            if not tag_values:
+                continue
+            tag_bytes = sum(v["bytes"] for v in tag_values) / len(tag_values)
+            row = {"nodes": size, "tag_bytes": int(tag_bytes)}
+            for m in cluster_sizes:
+                values = [
+                    o.value
+                    for o in outcomes
+                    if o.params["nodes"] == size
+                    and o.params["scheme"] == "icpda"
+                    and o.params.get("m") == m
+                ]
+                if not values:
+                    continue
+                total = sum(v["bytes"] for v in values) / len(values)
+                exchange = sum(v["phases"]["exchange"] for v in values)
+                row[f"icpda_m{m}_bytes"] = int(total)
+                row[f"icpda_m{m}_ratio"] = round(total / tag_bytes, 2)
+                row[f"analytic_m{m}_ratio"] = round(overhead_ratio(m), 2)
+                row[f"icpda_m{m}_exchange_share"] = round(exchange / total, 2)
+            rows.append(row)
+        return rows
+
+    return ExperimentSpec("F3", overhead_cell, tuple(cells), reduce)
 
 
 def run_overhead_experiment(
@@ -28,32 +107,11 @@ def run_overhead_experiment(
 ) -> List[dict]:
     """Rows per size: TAG bytes, iCPDA bytes per cluster-size setting,
     measured and analytic ratios, and the iCPDA phase breakdown."""
-    rows: List[dict] = []
-    for size in sizes:
-        tag_bytes = 0.0
-        for trial in range(trials):
-            _, stack = run_tag_round_on(size, seed=base_seed + trial * 101 + size)
-            tag_bytes += stack.counters.total_bytes
-        tag_bytes /= trials
-
-        row = {"nodes": size, "tag_bytes": int(tag_bytes)}
-        for m in cluster_sizes:
-            cfg = fixed_cluster_config(m)
-            total = 0.0
-            phases = {"clustering": 0.0, "exchange": 0.0, "report": 0.0}
-            for trial in range(trials):
-                _, protocol = run_icpda_round(
-                    size, cfg, seed=base_seed + trial * 101 + size
-                )
-                total += protocol.total_bytes()
-                for phase in phases:
-                    phases[phase] += protocol.phase_bytes.get(phase, 0)
-            total /= trials
-            row[f"icpda_m{m}_bytes"] = int(total)
-            row[f"icpda_m{m}_ratio"] = round(total / tag_bytes, 2)
-            row[f"analytic_m{m}_ratio"] = round(overhead_ratio(m), 2)
-            row[f"icpda_m{m}_exchange_share"] = round(
-                phases["exchange"] / (trials * total) * trials, 2
-            )
-        rows.append(row)
-    return rows
+    return run_serial(
+        overhead_spec(
+            sizes=sizes,
+            cluster_sizes=cluster_sizes,
+            trials=trials,
+            base_seed=base_seed,
+        )
+    )

@@ -22,15 +22,81 @@ import numpy as np
 from repro.core.config import IcpdaConfig
 from repro.core.protocol import IcpdaProtocol
 from repro.experiments.common import make_readings
+from repro.experiments.engine import (
+    CellSpec,
+    ExperimentSpec,
+    serial_outcomes,
+)
 from repro.net.radio import RadioParams
 from repro.topology.deploy import uniform_deployment
+
+#: Candidate Th values the selection table sweeps.
+DEFAULT_CANDIDATE_THS: Sequence[int] = (0, 1, 2, 3, 5, 8, 12)
+
+
+def threshold_cell(params: dict, seed: int, context: dict) -> int:
+    """One clean round: the ``|contributors − census|`` gap."""
+    cfg = context["config"]
+    deployment = uniform_deployment(
+        context["num_nodes"], rng=np.random.default_rng(seed)
+    )
+    radio = RadioParams(
+        range_m=deployment.radio_range, edge_fading=context["edge_fading"]
+    )
+    protocol = IcpdaProtocol(deployment, cfg, seed=seed, radio=radio)
+    protocol.setup()
+    readings = make_readings(
+        context["num_nodes"], rng=np.random.default_rng(seed + 10_000)
+    )
+    result = protocol.run_round(readings, round_id=params["trial"])
+    return abs(result.contributors - result.census_participants)
+
+
+def threshold_spec(
+    num_nodes: int = 400,
+    trials: int = 10,
+    config: Optional[IcpdaConfig] = None,
+    candidate_ths: Sequence[int] = DEFAULT_CANDIDATE_THS,
+    base_seed: int = 0,
+    edge_fading: float = 0.0,
+) -> ExperimentSpec:
+    """Cells: one clean round per trial; reduce: the Th-selection table."""
+    cfg = config if config is not None else IcpdaConfig(count_threshold=10**6)
+    cells = tuple(
+        CellSpec({"trial": trial}, base_seed + trial * 977)
+        for trial in range(trials)
+    )
+
+    def reduce(outcomes) -> List[dict]:
+        gaps = np.asarray([o.value for o in outcomes])
+        if not len(gaps):
+            return []
+        return [
+            {
+                "Th": th,
+                "clean_acceptance": round(float((gaps <= th).mean()), 3),
+            }
+            for th in candidate_ths
+        ]
+
+    return ExperimentSpec(
+        "F5",
+        threshold_cell,
+        cells,
+        reduce,
+        context={
+            "num_nodes": num_nodes,
+            "config": cfg,
+            "edge_fading": edge_fading,
+        },
+    )
 
 
 def run_threshold_experiment(
     num_nodes: int = 400,
     trials: int = 10,
     config: Optional[IcpdaConfig] = None,
-    candidate_ths: Sequence[int] = (0, 1, 2, 3, 5, 8, 12),
+    candidate_ths: Sequence[int] = DEFAULT_CANDIDATE_THS,
     base_seed: int = 0,
     edge_fading: float = 0.0,
 ) -> dict:
@@ -40,23 +106,16 @@ def run_threshold_experiment(
     rounds it would accept — pick the smallest Th with acceptance 1.0.
     ``edge_fading`` > 0 stresses the channel (see module docstring).
     """
-    cfg = config if config is not None else IcpdaConfig(count_threshold=10**6)
-    gaps: List[int] = []
-    for trial in range(trials):
-        seed = base_seed + trial * 977
-        deployment = uniform_deployment(
-            num_nodes, rng=np.random.default_rng(seed)
-        )
-        radio = RadioParams(
-            range_m=deployment.radio_range, edge_fading=edge_fading
-        )
-        protocol = IcpdaProtocol(deployment, cfg, seed=seed, radio=radio)
-        protocol.setup()
-        readings = make_readings(
-            num_nodes, rng=np.random.default_rng(seed + 10_000)
-        )
-        result = protocol.run_round(readings, round_id=trial)
-        gaps.append(abs(result.contributors - result.census_participants))
+    spec = threshold_spec(
+        num_nodes=num_nodes,
+        trials=trials,
+        config=config,
+        candidate_ths=candidate_ths,
+        base_seed=base_seed,
+        edge_fading=edge_fading,
+    )
+    outcomes = serial_outcomes(spec)
+    gaps = [o.value for o in outcomes]
     gap_array = np.asarray(gaps)
     quantiles = {
         "p50": float(np.quantile(gap_array, 0.50)),
@@ -64,14 +123,11 @@ def run_threshold_experiment(
         "p99": float(np.quantile(gap_array, 0.99)),
         "max": int(gap_array.max()),
     }
-    th_table = [
-        {
-            "Th": th,
-            "clean_acceptance": round(float((gap_array <= th).mean()), 3),
-        }
-        for th in candidate_ths
-    ]
-    return {"gaps": gaps, "quantiles": quantiles, "th_table": th_table}
+    return {
+        "gaps": gaps,
+        "quantiles": quantiles,
+        "th_table": spec.reduce(outcomes),
+    }
 
 
 def recommend_th(experiment: dict) -> int:

@@ -33,12 +33,21 @@ def render_table(
 ) -> str:
     """Render dict-rows as an aligned text table.
 
-    Column order: ``columns`` when given, otherwise first-row key order.
-    Missing cells render as ``-``.
+    Column order: ``columns`` when given, otherwise first-seen key
+    order over the union of all rows — a key that only appears in a
+    later row (e.g. a failure-row field) still gets a column. Missing
+    cells render as ``-``.
     """
     if not rows:
         return f"{title}\n(empty)" if title else "(empty)"
-    cols = list(columns) if columns is not None else list(rows[0].keys())
+    if columns is not None:
+        cols = list(columns)
+    else:
+        cols = []
+        for row in rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
     rendered = [[_format_cell(row.get(col)) for col in cols] for row in rows]
     widths = [
         max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(cols)

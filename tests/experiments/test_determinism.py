@@ -1,0 +1,92 @@
+"""Parallel runs must produce byte-identical artifacts to serial runs.
+
+Satellite of the engine PR: a ``--jobs 4`` run-all over real (quick
+scale) experiments writes the same JSON rows as the serial run at the
+same seeds, including the failure rows of an injected crashing cell;
+a resumed run completes entirely from cache.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+import repro.experiments.cli as cli
+from repro.experiments.coverage import coverage_spec
+from repro.experiments.density import density_spec
+from repro.experiments.engine import CellSpec
+
+
+def _broken_coverage_spec():
+    """Quick coverage spec with one injected failing cell.
+
+    ``nodes: -5`` makes the deployment constructor raise; the reduce
+    ignores the extra sweep point (-5 is not in ``sizes``), so the good
+    rows are unchanged and the failure surfaces only as a failure row.
+    """
+    spec = coverage_spec(sizes=(120,), trials=1)
+    bad = CellSpec({"nodes": -5, "trial": 0}, 1)
+    return dataclasses.replace(spec, cells=spec.cells + (bad,))
+
+
+FAKE_REGISTRY = {
+    "D1": ("density quick", None, lambda: density_spec(sizes=(100,), trials=2)),
+    "C1": ("coverage with crash", None, lambda: _broken_coverage_spec()),
+}
+
+
+@pytest.fixture
+def fake_registry(monkeypatch):
+    monkeypatch.setattr(cli, "_registry", lambda: dict(FAKE_REGISTRY))
+
+
+def _artifacts(out_dir):
+    """Map artifact name -> bytes, manifests excluded (they hold wall-clock)."""
+    return {
+        p.name: p.read_bytes()
+        for p in sorted(out_dir.glob("*.json"))
+        if not p.name.endswith(".manifest.json")
+    }
+
+
+class TestParallelDeterminism:
+    def test_jobs4_artifacts_identical_to_serial(self, tmp_path, fake_registry):
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        assert cli.main(["run-all", "--quick", "--out", str(serial_dir)]) == 1
+        assert (
+            cli.main(
+                ["run-all", "--quick", "--jobs", "4", "--out", str(parallel_dir)]
+            )
+            == 1
+        )
+
+        serial = _artifacts(serial_dir)
+        parallel = _artifacts(parallel_dir)
+        assert set(serial) == {"d1.json", "c1.json"}
+        assert serial == parallel  # byte-identical artifacts
+
+        # The injected crash produced an identical failure row in both.
+        rows = json.loads(serial["c1.json"])["rows"]
+        failure = [r for r in rows if "failed_cell" in r]
+        assert len(failure) == 1
+        assert json.loads(failure[0]["cell_params"]) == {"nodes": -5, "trial": 0}
+        # ...and the good sweep point still produced its row.
+        assert any(r.get("nodes") == 120 for r in rows)
+
+    def test_resume_completes_from_cache(self, tmp_path, fake_registry):
+        out = tmp_path / "out"
+        assert cli.main(["run-all", "--quick", "--out", str(out)]) == 1
+        assert (out / ".cellcache").is_dir()
+        before = _artifacts(out)
+
+        assert cli.main(["run-all", "--quick", "--resume", "--out", str(out)]) == 1
+        assert _artifacts(out) == before
+
+        # Every successful D1 cell came from the cache on the second run.
+        manifest = json.loads((out / "d1.manifest.json").read_text())
+        assert manifest["cells_cached"] == manifest["cells_total"]
+        # C1's crashing cell is never cached, so it re-ran (and failed again).
+        c1 = json.loads((out / "c1.manifest.json").read_text())
+        assert c1["cells_cached"] == c1["cells_total"] - 1
+        assert c1["cells_failed"] == 1

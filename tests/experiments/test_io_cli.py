@@ -6,7 +6,22 @@ import pytest
 
 from repro.errors import ReproError
 from repro.experiments.cli import main
+from repro.experiments.engine import CellSpec, ExperimentSpec
 from repro.experiments.io import diff_rows, load_rows, save_rows
+
+
+def _rows_cell(params, seed, context):
+    return {"v": params["v"]}
+
+
+def _rows_spec(experiment, value):
+    """A one-cell spec yielding ``[{"v": value}]`` — the CLI-test stub."""
+    return ExperimentSpec(
+        experiment,
+        _rows_cell,
+        (CellSpec({"v": value}, 0),),
+        lambda outcomes: [o.value for o in outcomes],
+    )
 
 
 class TestSaveLoad:
@@ -38,6 +53,41 @@ class TestSaveLoad:
     def test_creates_parent_dirs(self, tmp_path):
         path = save_rows(tmp_path / "deep" / "nested" / "x.json", "T1", [])
         assert path.exists()
+
+    def test_nan_rows_roundtrip_as_strict_json(self, tmp_path):
+        """NaN/Infinity metrics must not poison the artifact: the saved
+        file is strict JSON (no bare NaN tokens) and reloads with the
+        non-finite values encoded as null."""
+        rows = [
+            {"nodes": 100, "ratio": float("nan")},
+            {"nodes": 200, "ratio": float("inf"), "neg": float("-inf")},
+        ]
+        path = save_rows(tmp_path / "x.json", "F6", rows)
+        text = path.read_text()
+        assert "NaN" not in text and "Infinity" not in text
+        # A strict parser (json.loads is lenient by default — forbid the
+        # constants explicitly, as jq would) accepts the artifact.
+        def _reject(token):
+            raise AssertionError(f"non-strict token {token!r}")
+
+        document = json.loads(text, parse_constant=_reject)
+        assert document["rows"] == [
+            {"nodes": 100, "ratio": None},
+            {"nodes": 200, "ratio": None, "neg": None},
+        ]
+        # And diff_rows treats the in-memory NaN rows as equivalent to
+        # their persisted encoding.
+        assert diff_rows(rows, document["rows"]) == []
+
+    def test_legacy_nan_artifact_still_loads(self, tmp_path):
+        """Artifacts written before the strict encoding (bare NaN
+        tokens) load with NaN read as null."""
+        path = tmp_path / "old.json"
+        path.write_text(
+            '{"schema": 1, "experiment": "F6", "rows": [{"ratio": NaN}]}'
+        )
+        document = load_rows(path)
+        assert document["rows"] == [{"ratio": None}]
 
 
 class TestDiff:
@@ -86,18 +136,44 @@ class TestCli:
         self, tmp_path, capsys, monkeypatch
     ):
         """run-all iterates the whole registry and saves one artifact
-        per experiment (registry stubbed to keep the test fast)."""
+        plus one manifest per experiment (registry stubbed to keep the
+        test fast)."""
         import repro.experiments.cli as cli
 
         fake = {
-            "X1": ("first", lambda: [{"v": 1}], lambda: [{"v": 1}]),
-            "X2": ("second", lambda: [{"v": 2}], lambda: [{"v": 2}]),
+            "X1": ("first", lambda: _rows_spec("X1", 1), lambda: _rows_spec("X1", 1)),
+            "X2": ("second", lambda: _rows_spec("X2", 2), lambda: _rows_spec("X2", 2)),
         }
         monkeypatch.setattr(cli, "_registry", lambda: fake)
         assert cli.main(["run-all", "--quick", "--out", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "=== X1 ===" in out and "=== X2 ===" in out
         assert (tmp_path / "x1.json").exists()
+        assert (tmp_path / "x2.json").exists()
+        manifest = json.loads((tmp_path / "x1.manifest.json").read_text())
+        assert manifest["cells_total"] == 1
+        assert manifest["cells_failed"] == 0
+
+    def test_run_all_continues_past_failures_and_exits_nonzero(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """One raising experiment must not abort the batch, and the
+        batch must exit nonzero with a failure summary."""
+        import repro.experiments.cli as cli
+
+        def boom():
+            raise RuntimeError("spec construction exploded")
+
+        fake = {
+            "X1": ("bad", boom, boom),
+            "X2": ("good", lambda: _rows_spec("X2", 2), lambda: _rows_spec("X2", 2)),
+        }
+        monkeypatch.setattr(cli, "_registry", lambda: fake)
+        assert cli.main(["run-all", "--quick", "--out", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "FAILED experiments" in err
+        assert "X1" in err
+        # X2 still ran and persisted.
         assert (tmp_path / "x2.json").exists()
 
     def test_run_all_rejects_unknown_flags(self):

@@ -109,6 +109,16 @@ class TestRendering:
         header = text.splitlines()[0]
         assert header.index("b") < header.index("a")
 
+    def test_late_appearing_keys_get_columns(self):
+        """A key first seen in a later row (e.g. a failure-row field)
+        must not be silently dropped from the table."""
+        rows = [{"a": 1}, {"a": 2, "error": "boom"}, {"late": True}]
+        text = render_table(rows)
+        header = text.splitlines()[0]
+        assert "error" in header and "late" in header
+        assert header.index("a") < header.index("error") < header.index("late")
+        assert "boom" in text
+
     def test_series_join(self):
         a = Series("tag")
         a.add(100, 1.0)
