@@ -49,7 +49,9 @@ from repro.topology import (
     uniform_deployment,
 )
 
-__version__ = "1.0.0"
+# 1.1.0: dead-node TX/RX accounting fixes changed cell outcomes, so the
+# version bump also invalidates every cached experiment cell.
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",

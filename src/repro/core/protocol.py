@@ -42,6 +42,7 @@ from repro.errors import ProtocolError
 from repro.net.radio import RadioParams
 from repro.net.stack import NetworkStack
 from repro.sim.kernel import Simulator
+from repro.sim.profiling import PhaseProfiler
 from repro.sim.trace import TraceLog
 from repro.topology.deploy import Deployment
 
@@ -94,8 +95,13 @@ class IcpdaProtocol:
         self.deployment = deployment
         self.config = config
         self.field = field_
-        self.sim = Simulator(seed=seed, trace=TraceLog(enabled=trace))
-        self.sim.trace.bind_clock(lambda: self.sim.now)
+        # trace=False defers to the kernel's default (a telemetry
+        # collector, when active, supplies an enabled log); the kernel
+        # clock-binds whichever trace it ends up with.
+        self.sim = Simulator(
+            seed=seed, trace=TraceLog(enabled=True) if trace else None
+        )
+        self.profiler = PhaseProfiler.for_simulator(self.sim)
         self.stack = NetworkStack(self.sim, deployment, radio=radio)
         self.linksec = (
             linksec if linksec is not None else LinkSecurity(PairwiseKeyScheme())
@@ -118,9 +124,10 @@ class IcpdaProtocol:
         (Phase I). Idempotent."""
         if self.tree is None:
             before = self.stack.counters.total_bytes
-            self.tree = build_aggregation_tree(
-                self.stack, query=self.config.aggregate_name
-            )
+            with self.profiler.phase("tree"):
+                self.tree = build_aggregation_tree(
+                    self.stack, query=self.config.aggregate_name
+                )
             self.phase_bytes["tree"] = self.stack.counters.total_bytes - before
         return self.tree
 
@@ -135,9 +142,10 @@ class IcpdaProtocol:
         around them. Costs one flood (~2 messages/alive node).
         """
         before = self.stack.counters.total_bytes
-        self.tree = build_aggregation_tree(
-            self.stack, query=self.config.aggregate_name
-        )
+        with self.profiler.phase("tree"):
+            self.tree = build_aggregation_tree(
+                self.stack, query=self.config.aggregate_name
+            )
         self.phase_bytes["tree"] = (
             self.phase_bytes.get("tree", 0)
             + self.stack.counters.total_bytes
@@ -177,8 +185,11 @@ class IcpdaProtocol:
 
         # Phase II: cluster formation.
         before = counters.total_bytes
-        formation = ClusterFormation(self.stack, self.tree, self.config, round_id)
-        clustering = formation.run()
+        with self.profiler.phase("clustering"):
+            formation = ClusterFormation(
+                self.stack, self.tree, self.config, round_id
+            )
+            clustering = formation.run()
         self.last_clustering = clustering
         self.phase_bytes["clustering"] = counters.total_bytes - before
 
@@ -186,35 +197,37 @@ class IcpdaProtocol:
 
         # Phase III: intra-cluster share exchange.
         before = counters.total_bytes
-        exchange_phase = IntraClusterExchange(
-            self.stack,
-            clustering,
-            self.config,
-            self.linksec,
-            self.aggregate,
-            readings,
-            self.field,
-            participating_heads=participating,
-            round_id=round_id,
-        )
-        exchange = exchange_phase.run()
+        with self.profiler.phase("exchange"):
+            exchange_phase = IntraClusterExchange(
+                self.stack,
+                clustering,
+                self.config,
+                self.linksec,
+                self.aggregate,
+                readings,
+                self.field,
+                participating_heads=participating,
+                round_id=round_id,
+            )
+            exchange = exchange_phase.run()
         self.last_exchange = exchange
         self.phase_bytes["exchange"] = counters.total_bytes - before
 
         # Phase IV: witnessed report aggregation + verdict.
         before = counters.total_bytes
-        report_phase = ReportAndVerdictPhase(
-            self.stack,
-            self.tree,
-            clustering,
-            exchange,
-            self.config,
-            self.aggregate,
-            attack_plan=self.attack_plan,
-            round_id=round_id,
-        )
-        true_value = self.aggregate.true_value(list(readings.values()))
-        result = report_phase.run(true_value, total_sensors=len(readings))
+        with self.profiler.phase("report"):
+            report_phase = ReportAndVerdictPhase(
+                self.stack,
+                self.tree,
+                clustering,
+                exchange,
+                self.config,
+                self.aggregate,
+                attack_plan=self.attack_plan,
+                round_id=round_id,
+            )
+            true_value = self.aggregate.true_value(list(readings.values()))
+            result = report_phase.run(true_value, total_sensors=len(readings))
         self.phase_bytes["report"] = counters.total_bytes - before
         return result
 

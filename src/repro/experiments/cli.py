@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments run T1 [--out results/]
     python -m repro.experiments run F4 --quick --jobs 4
+    python -m repro.experiments run F3 --quick --trace=medium,mac --trace-out traces/
     python -m repro.experiments run-all --quick --jobs 4 --resume
 
 ``--quick`` shrinks sweeps/trials to smoke-test scale; the default
@@ -185,6 +186,28 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="cell cache location (default: <out>/.cellcache)",
     )
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="CATEGORIES",
+        help=(
+            "collect run telemetry (traces + metrics) per cell; optional "
+            "comma-separated category prefixes, e.g. --trace=medium,mac "
+            "(bare --trace keeps every category)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "write one JSONL trace file per cell under DIR/<experiment>/ "
+            "(implies --trace)"
+        ),
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -215,6 +238,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if cache_dir is None and args.out is not None:
         cache_dir = args.out / ".cellcache"
 
+    # Telemetry: --trace-out implies --trace; --trace=a,b whitelists
+    # category prefixes.
+    telemetry = None
+    if args.trace is not None or args.trace_out is not None:
+        categories = None
+        if args.trace:
+            categories = [c.strip() for c in args.trace.split(",") if c.strip()]
+        telemetry = {"categories": categories}
+
     def run_one(exp_id: str) -> int:
         description, full, quick = registry[exp_id]
         spec = (quick if args.quick else full)()
@@ -225,6 +257,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             resume=args.resume,
             cache_dir=cache_dir,
             progress=lambda line: print(line, file=sys.stderr),
+            telemetry=telemetry,
+            trace_dir=args.trace_out,
         )
         rows = collect_rows(spec, report) + failure_rows(report)
         print(render_table(rows, title=f"{exp_id}: {description}"))
@@ -235,6 +269,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             f" in {report.wall_clock_s:.2f}s",
             file=sys.stderr,
         )
+        block = report.telemetry_block()
+        if block is not None:
+            line = (
+                f"telemetry: {block['trace_records']} trace records"
+                f" from {block['cells_with_telemetry']} cells"
+            )
+            if args.trace_out is not None:
+                line += f" -> {args.trace_out / spec.experiment}"
+            print(line, file=sys.stderr)
         if args.out is not None:
             artifact = save_rows(
                 args.out / f"{exp_id.lower()}.json",

@@ -47,6 +47,7 @@ from typing import (
 from repro import __version__
 from repro.errors import ReproError
 from repro.experiments.io import sanitize_json
+from repro.sim import telemetry as sim_telemetry
 
 PathLike = Union[str, pathlib.Path]
 
@@ -99,6 +100,12 @@ class CellOutcome:
     cached: bool = False
     attempts: int = 1
     duration_s: float = 0.0
+    #: Per-cell telemetry summary (metrics snapshot + trace counts) when
+    #: the run collected it; None otherwise (including cache hits, whose
+    #: simulators never ran).
+    telemetry: Optional[Dict[str, Any]] = None
+    #: Path of the cell's exported JSONL trace, when one was written.
+    trace_path: Optional[str] = None
 
 
 @dataclass
@@ -110,6 +117,7 @@ class RunReport:
     wall_clock_s: float
     jobs: int
     timeout_s: Optional[float] = None
+    telemetry_enabled: bool = False
 
     @property
     def total(self) -> int:
@@ -127,9 +135,55 @@ class RunReport:
     def cached(self) -> int:
         return sum(1 for o in self.outcomes if o.cached)
 
+    def telemetry_block(self) -> Optional[Dict[str, Any]]:
+        """Run-level telemetry rollup for the manifest, or None when the
+        run collected none.
+
+        ``metrics`` sums each numeric registry key (``counters.bytes``,
+        ``energy.total_j``, ``kernel.fired``...) across the cells that
+        ran live — cache hits contribute nothing, which ``cells_with_
+        telemetry`` makes visible next to ``cells_total``.
+        """
+        if not self.telemetry_enabled:
+            return None
+        metrics: Dict[str, Any] = {}
+        categories: Dict[str, int] = {}
+        records = 0
+        cells = 0
+        traces: List[str] = []
+        for outcome in self.outcomes:
+            if outcome.telemetry is None:
+                continue
+            cells += 1
+            records += outcome.telemetry.get("trace_records", 0)
+            for category, count in outcome.telemetry.get(
+                "trace_categories", {}
+            ).items():
+                categories[category] = categories.get(category, 0) + count
+            for key, value in outcome.telemetry.get("metrics", {}).items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    metrics[key] = value
+                elif isinstance(metrics.get(key), (int, float)) and not isinstance(
+                    metrics.get(key), bool
+                ):
+                    metrics[key] = metrics[key] + value
+                else:
+                    metrics[key] = value
+            if outcome.trace_path is not None:
+                traces.append(outcome.trace_path)
+        block: Dict[str, Any] = {
+            "cells_with_telemetry": cells,
+            "trace_records": records,
+            "trace_categories": categories,
+            "metrics": metrics,
+        }
+        if traces:
+            block["trace_files"] = traces
+        return block
+
     def manifest(self) -> Dict[str, Any]:
         """The run manifest persisted next to the JSON artifact."""
-        return {
+        manifest = {
             "experiment": self.experiment,
             "cells_total": self.total,
             "cells_done": self.done,
@@ -140,6 +194,10 @@ class RunReport:
             "timeout_s": self.timeout_s,
             "library_version": __version__,
         }
+        telemetry = self.telemetry_block()
+        if telemetry is not None:
+            manifest["telemetry"] = telemetry
+        return manifest
 
 
 def derive_seed(base_seed: int, experiment: str, params: Mapping[str, Any]) -> int:
@@ -216,6 +274,7 @@ def _execute_cell(
     seed: int,
     context: Dict[str, Any],
     timeout_s: Optional[float],
+    telemetry_cfg: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Run one cell with crash isolation and an in-process timeout.
 
@@ -223,6 +282,11 @@ def _execute_cell(
     to cross the process boundary. The timeout uses ``SIGALRM`` —
     worker processes and the serial path both run cells on their main
     thread — and is skipped on platforms without it.
+
+    With ``telemetry_cfg`` (``{"categories": [...], "capacity": N}``) a
+    :mod:`repro.sim.telemetry` collector is active around the cell, and
+    the result carries a ``telemetry`` summary plus the trace records as
+    JSONL lines (plain strings, so they cross the process boundary).
     """
     start = time.perf_counter()
     use_alarm = timeout_s is not None and timeout_s > 0 and hasattr(signal, "SIGALRM")
@@ -235,11 +299,32 @@ def _execute_cell(
 
             previous = signal.signal(signal.SIGALRM, _on_alarm)
             signal.setitimer(signal.ITIMER_REAL, float(timeout_s))
-        value = cell_fn(dict(params), seed, dict(context))
+        if telemetry_cfg is None:
+            value = cell_fn(dict(params), seed, dict(context))
+            extra: Dict[str, Any] = {}
+        else:
+            with sim_telemetry.collect(
+                categories=telemetry_cfg.get("categories"),
+                capacity=telemetry_cfg.get(
+                    "capacity", sim_telemetry.DEFAULT_TRACE_CAPACITY
+                ),
+            ) as collector:
+                value = cell_fn(dict(params), seed, dict(context))
+            categories = collector.category_counts()
+            extra = {
+                "telemetry": {
+                    "simulators": len(collector.simulators),
+                    "trace_records": sum(categories.values()),
+                    "trace_categories": categories,
+                    "metrics": sanitize_json(collector.metrics_snapshot()),
+                },
+                "trace_jsonl": list(collector.trace_lines()),
+            }
         return {
             "ok": True,
             "value": sanitize_json(value),
             "duration_s": time.perf_counter() - start,
+            **extra,
         }
     except CellTimeout as error:
         return {
@@ -288,6 +373,8 @@ def execute(
     resume: bool = False,
     cache_dir: Optional[PathLike] = None,
     progress: Optional[Callable[[str], None]] = None,
+    telemetry: Optional[Dict[str, Any]] = None,
+    trace_dir: Optional[PathLike] = None,
 ) -> RunReport:
     """Run every cell of ``spec``; returns per-cell outcomes in index order.
 
@@ -297,10 +384,20 @@ def execute(
     write-through cell cache; ``resume`` additionally *reads* it, so an
     interrupted sweep picks up where it left off. A timed-out cell is
     retried exactly once; a crashing cell records a failure outcome.
+
+    ``telemetry`` (``{"categories": [...] | None, "capacity": N |
+    None}``) collects per-cell traces and metrics snapshots; passing
+    ``trace_dir`` implies collection and additionally writes one JSONL
+    trace file per live cell under ``<trace_dir>/<experiment>/``. Cached
+    cells carry no telemetry (their simulators never ran this time).
     """
     if jobs < 1:
         raise ReproError(f"jobs must be >= 1, got {jobs}")
     cache = pathlib.Path(cache_dir) if cache_dir is not None else None
+    traces = pathlib.Path(trace_dir) if trace_dir is not None else None
+    if traces is not None and telemetry is None:
+        telemetry = {}
+    telemetry_cfg = dict(telemetry) if telemetry is not None else None
     start = time.perf_counter()
     outcomes: List[Optional[CellOutcome]] = [None] * len(spec.cells)
     pending: List[int] = []
@@ -343,7 +440,14 @@ def execute(
             timed_out=raw.get("timed_out", False),
             attempts=attempts,
             duration_s=raw["duration_s"],
+            telemetry=raw.get("telemetry"),
         )
+        lines = raw.get("trace_jsonl")
+        if traces is not None and lines is not None:
+            path = traces / spec.experiment / f"cell-{index:04d}.jsonl"
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text("".join(line + "\n" for line in lines))
+            outcome.trace_path = str(path)
         if outcome.ok and cache is not None:
             _cache_store(_cache_path(cache, spec, cell), spec, cell, outcome.value)
         outcomes[index] = outcome
@@ -353,10 +457,22 @@ def execute(
     if jobs == 1 or len(pending) <= 1:
         for index in pending:
             cell = spec.cells[index]
-            raw = _execute_cell(spec.cell, dict(cell.params), cell.seed, spec.context, timeout_s)
+            raw = _execute_cell(
+                spec.cell,
+                dict(cell.params),
+                cell.seed,
+                spec.context,
+                timeout_s,
+                telemetry_cfg,
+            )
             if raw.get("timed_out"):
                 raw = _execute_cell(
-                    spec.cell, dict(cell.params), cell.seed, spec.context, timeout_s
+                    spec.cell,
+                    dict(cell.params),
+                    cell.seed,
+                    spec.context,
+                    timeout_s,
+                    telemetry_cfg,
                 )
                 _finish(index, raw, attempts=2)
             else:
@@ -380,6 +496,7 @@ def execute(
                     cell.seed,
                     spec.context,
                     timeout_s,
+                    telemetry_cfg,
                 )
                 attempts[future] = (index, attempt)
                 return future
@@ -403,6 +520,7 @@ def execute(
         wall_clock_s=time.perf_counter() - start,
         jobs=jobs,
         timeout_s=timeout_s,
+        telemetry_enabled=telemetry_cfg is not None,
     )
 
 

@@ -13,6 +13,7 @@ from repro.metrics.accuracy import AccuracyResult, accuracy_ratio, count_accurac
 from repro.metrics.counters import KindBreakdown, MessageCounters
 from repro.metrics.detection import DetectionStats
 from repro.metrics.privacy import DisclosureStats
+from repro.metrics.registry import MetricsRegistry
 from repro.metrics.report import (
     Series,
     render_chart,
@@ -22,6 +23,7 @@ from repro.metrics.report import (
 
 __all__ = [
     "MessageCounters",
+    "MetricsRegistry",
     "KindBreakdown",
     "AccuracyResult",
     "accuracy_ratio",

@@ -123,6 +123,25 @@ class MessageCounters:
                 agg[1] += cell[1]
         return merged
 
+    @property
+    def total_rx_messages(self) -> int:
+        """All addressed, clean frames received in the run."""
+        return sum(cell[0] for cell in self._rx.values())
+
+    @property
+    def total_rx_bytes(self) -> int:
+        """All bytes received (addressed, clean) in the run."""
+        return sum(cell[1] for cell in self._rx.values())
+
+    def snapshot(self) -> dict:
+        """Run totals as a plain dict (metrics-registry provider)."""
+        return {
+            "messages": self.total_messages,
+            "bytes": self.total_bytes,
+            "rx_messages": self.total_rx_messages,
+            "rx_bytes": self.total_rx_bytes,
+        }
+
     def reset(self) -> None:
         """Zero everything."""
         self._tx.clear()

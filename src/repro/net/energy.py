@@ -75,6 +75,15 @@ class EnergyModel:
         """Joules spent so far by ``node_id``."""
         return self._spent.get(node_id, 0.0)
 
+    def snapshot(self) -> dict:
+        """Run totals as a plain dict (metrics-registry provider)."""
+        per_node = self._spent.values()
+        return {
+            "total_j": sum(per_node),
+            "max_node_j": max(per_node) if self._spent else 0.0,
+            "nodes_charged": len(self._spent),
+        }
+
     def report(self) -> EnergyReport:
         """Freeze current accounting into an :class:`EnergyReport`."""
         per_node = dict(self._spent)

@@ -62,6 +62,15 @@ class MacStats:
     dropped: int = 0
     busy_senses: int = 0
 
+    def snapshot(self) -> dict:
+        """The counters as a plain dict (metrics-registry provider)."""
+        return {
+            "enqueued": self.enqueued,
+            "sent": self.sent,
+            "dropped": self.dropped,
+            "busy_senses": self.busy_senses,
+        }
+
 
 class CsmaMac:
     """Carrier-sense MAC instance for a single node.

@@ -207,8 +207,16 @@ class WirelessMedium:
             self._finish_reception(tx, receiver)
 
     def _finish_reception(self, tx: _Transmission, receiver: int) -> None:
+        # A crashed receiver observes nothing: its losses must not enter
+        # MediumStats (collision/loss rates are per *live* radio). The
+        # ambient-loss coin is still flipped below so the shared RNG
+        # stream — and therefore every other receiver's fate in a seeded
+        # run — is byte-identical with and without the dead node.
+        dead = receiver in self._dead
         cause = tx.corrupted_at.get(receiver)
         if cause is not None:
+            if dead:
+                return
             if cause == CAUSE_HALF_DUPLEX:
                 self.stats.half_duplex_losses += 1
             else:
@@ -231,6 +239,8 @@ class WirelessMedium:
                 )
             )
         if loss_probability > 0 and self._loss_rng.random() < loss_probability:
+            if dead:
+                return
             self.stats.ambient_losses += 1
             self._sim.trace.emit(
                 "medium.ambient_loss",
@@ -241,7 +251,7 @@ class WirelessMedium:
             )
             return
         callback = self._receivers.get(receiver)
-        if callback is None or receiver in self._dead:
+        if callback is None or dead:
             return
         self.stats.deliveries += 1
         delay = 0.0

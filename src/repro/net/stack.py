@@ -82,8 +82,26 @@ class NetworkStack:
             self.nodes[node_id] = node
             self.macs[node_id] = CsmaMac(sim, self.medium, node_id, params)
             self.medium.attach(node_id, self._make_delivery(node))
+        # One merged, namespaced snapshot per run: every accounting
+        # object this stack owns reports through the kernel's registry
+        # (replace=True: a rebuilt stack on the same simulator wins).
+        sim.metrics.register("medium", self.medium.stats.snapshot, replace=True)
+        sim.metrics.register("counters", self.counters.snapshot, replace=True)
+        sim.metrics.register("energy", self.energy.snapshot, replace=True)
+        sim.metrics.register("mac", self._mac_snapshot, replace=True)
 
     # -- wiring ----------------------------------------------------------------
+
+    def _mac_snapshot(self) -> Dict[str, int]:
+        """Network-wide MAC totals (metrics-registry provider)."""
+        totals = {"enqueued": 0, "sent": 0, "dropped": 0, "busy_senses": 0}
+        queued = 0
+        for mac in self.macs.values():
+            for key, value in mac.stats.snapshot().items():
+                totals[key] += value
+            queued += mac.queue_length
+        totals["queued"] = queued
+        return totals
 
     def _make_delivery(self, node: Node) -> Callable[[Packet], None]:
         def deliver(packet: Packet) -> None:
@@ -135,6 +153,17 @@ class NetworkStack:
         mac = self.macs.get(packet.src)
         if mac is None:
             raise SimulationError(f"unknown source node {packet.src}")
+        if self.medium.is_dead(packet.src):
+            # A crashed radio keys up nothing: the medium would drop the
+            # frame silently, so counting TX bytes/energy here would
+            # overcount lifetime (F10) and overhead-under-failure rows.
+            self.sim.trace.emit(
+                "stack.dead_tx",
+                "dead node %(node)s asked to send %(kind)s",
+                node=packet.src,
+                kind=packet.kind,
+            )
+            return
         self.counters.record_tx(packet.src, packet.kind, packet.size_bytes)
         self.energy.account_tx(packet.src, packet.size_bytes)
         mac.send(packet)

@@ -17,7 +17,9 @@ tools (ns-2 was the paper family's substrate). It provides:
 from repro.sim.events import Event, EventHandle
 from repro.sim.kernel import Simulator
 from repro.sim.process import PeriodicTimer, delayed_call
+from repro.sim.profiling import PhaseProfiler, PhaseSpan
 from repro.sim.rng import RngRegistry
+from repro.sim.telemetry import TelemetryCollector, collect
 from repro.sim.trace import TraceLog, TraceRecord
 
 __all__ = [
@@ -26,7 +28,11 @@ __all__ = [
     "Simulator",
     "PeriodicTimer",
     "delayed_call",
+    "PhaseProfiler",
+    "PhaseSpan",
     "RngRegistry",
+    "TelemetryCollector",
+    "collect",
     "TraceLog",
     "TraceRecord",
 ]

@@ -28,6 +28,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import KernelStateError, ScheduleInPastError
+from repro.metrics.registry import MetricsRegistry
+from repro.sim import telemetry
 from repro.sim.events import PRIORITY_NORMAL, Event, EventHandle
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceLog
@@ -83,7 +85,11 @@ class Simulator:
         Master seed for the RNG registry. Two simulators constructed with
         the same seed and driven identically produce identical runs.
     trace:
-        Optional pre-built trace log; a disabled one is created by default.
+        Optional pre-built trace log. When omitted, an active telemetry
+        collector (:mod:`repro.sim.telemetry`) supplies an enabled one;
+        otherwise a disabled log is created. Either way the kernel binds
+        its clock, so records always carry the virtual time — callers no
+        longer need to remember ``bind_clock``.
     """
 
     def __init__(self, seed: int = 0, trace: Optional[TraceLog] = None) -> None:
@@ -92,7 +98,18 @@ class Simulator:
         self._running = False
         self.stats = KernelStats()
         self.rng = RngRegistry(seed)
-        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        collector = telemetry.active()
+        if trace is not None:
+            self.trace = trace
+        elif collector is not None:
+            self.trace = collector.make_trace()
+        else:
+            self.trace = TraceLog(enabled=False)
+        self.trace.bind_clock(lambda: self._now)
+        self.metrics = MetricsRegistry()
+        self.metrics.register("kernel", self.stats.snapshot)
+        if collector is not None:
+            collector.adopt(self)
 
     # -- clock ------------------------------------------------------------
 

@@ -5,12 +5,36 @@ category, message, fields)`` — that protocols emit at interesting points
 (transmissions, collisions, cluster elections, integrity alarms...).
 Tracing is disabled by default and is designed to cost one attribute check
 per call when off, so protocol code can trace unconditionally.
+
+Beyond in-memory querying, a trace is exportable: :meth:`TraceLog.jsonl_lines`
+/ :meth:`TraceLog.export_jsonl` serialize records as strict JSON Lines
+(one object per record) and :meth:`TraceLog.from_jsonl` reads them back,
+so runs can persist per-cell trace artifacts that any ``jq``-style tool
+parses. Live consumers attach with :meth:`TraceLog.subscribe` and see
+every kept record in emit order.
 """
 
 from __future__ import annotations
 
+import json
+import math
+import pathlib
+from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Union,
+)
+
+#: Signature of a live trace consumer.
+TraceSubscriber = Callable[["TraceRecord"], None]
 
 
 @dataclass(frozen=True)
@@ -39,6 +63,46 @@ class TraceRecord:
         beneath it (``"mac"`` matches ``"mac.collision"``)."""
         return self.category == prefix or self.category.startswith(prefix + ".")
 
+    def to_json(self) -> str:
+        """The record as one strict-JSON line (non-finite floats become
+        ``null``; non-JSON field values fall back to ``repr``)."""
+        return json.dumps(
+            {
+                "time": _jsonable(self.time),
+                "category": self.category,
+                "message": self.message,
+                "fields": _jsonable(self.fields),
+            },
+            sort_keys=True,
+            allow_nan=False,
+            default=repr,
+        )
+
+    @staticmethod
+    def from_json(line: str) -> "TraceRecord":
+        """Parse one JSONL line back into a record."""
+        data = json.loads(line, parse_constant=lambda token: None)
+        return TraceRecord(
+            time=float(data["time"]) if data["time"] is not None else 0.0,
+            category=data["category"],
+            message=data.get("message", ""),
+            fields=dict(data.get("fields") or {}),
+        )
+
+
+def _jsonable(value: Any) -> Any:
+    """Canonicalize for strict JSON: non-finite floats -> None, tuples ->
+    lists, mappings/sequences walked recursively."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
 
 class TraceLog:
     """Append-only log of :class:`TraceRecord` entries with filtering.
@@ -52,8 +116,9 @@ class TraceLog:
         Optional whitelist of category prefixes; when set, only matching
         records are kept.
     capacity:
-        Optional maximum record count; the oldest records are dropped once
-        exceeded (simple ring behaviour for long soak runs).
+        Optional maximum record count held in memory; the oldest records
+        are dropped once exceeded (an O(1) ``deque`` ring for long soak
+        runs — :meth:`category_counts` still counts every kept emit).
     """
 
     def __init__(
@@ -64,8 +129,10 @@ class TraceLog:
     ) -> None:
         self._categories = list(categories) if categories else None
         self._capacity = capacity
-        self._records: List[TraceRecord] = []
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
         self._clock: Callable[[], float] = lambda: 0.0
+        self._category_totals: Counter = Counter()
+        self._subscribers: List[TraceSubscriber] = []
         self.enabled = enabled
 
     @property
@@ -80,6 +147,11 @@ class TraceLog:
         # %-style templates and no formatting ever happens while off.
         self._enabled = bool(value)
         self.emit = self._emit if self._enabled else self._emit_noop
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """Ring size, or None when unbounded."""
+        return self._capacity
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Attach the time source (normally ``lambda: sim.now``)."""
@@ -103,15 +175,35 @@ class TraceLog:
             return
         if fields and "%(" in message:
             message = message % fields
-        self._records.append(
-            TraceRecord(time=self._clock(), category=category, message=message, fields=fields)
+        record = TraceRecord(
+            time=self._clock(), category=category, message=message, fields=fields
         )
-        if self._capacity is not None and len(self._records) > self._capacity:
-            del self._records[: len(self._records) - self._capacity]
+        self._records.append(record)
+        self._category_totals[category] += 1
+        for subscriber in self._subscribers:
+            subscriber(record)
 
     #: Class-level fallback so ``TraceLog.emit`` stays introspectable; the
     #: constructor rebinds the instance attribute via the setter above.
     emit = _emit
+
+    # -- live subscribers --------------------------------------------------
+
+    def subscribe(self, subscriber: TraceSubscriber) -> TraceSubscriber:
+        """Attach a callback invoked with every *kept* record, in emit
+        order; multiple subscribers fire in subscription order. Returns
+        the subscriber (handy for later :meth:`unsubscribe`). Records
+        filtered by the whitelist — or dropped entirely while the log is
+        disabled — are never seen."""
+        self._subscribers.append(subscriber)
+        return subscriber
+
+    def unsubscribe(self, subscriber: TraceSubscriber) -> None:
+        """Detach a callback; unknown subscribers are ignored."""
+        try:
+            self._subscribers.remove(subscriber)
+        except ValueError:
+            pass
 
     # -- querying ----------------------------------------------------------
 
@@ -122,14 +214,23 @@ class TraceLog:
         return iter(self._records)
 
     def records(self, prefix: Optional[str] = None) -> List[TraceRecord]:
-        """All records, optionally filtered by category prefix."""
+        """All retained records, optionally filtered by category prefix."""
         if prefix is None:
             return list(self._records)
         return [r for r in self._records if r.matches(prefix)]
 
     def count(self, prefix: str) -> int:
-        """Number of records under a category prefix."""
+        """Number of *retained* records under a category prefix."""
         return sum(1 for r in self._records if r.matches(prefix))
+
+    def category_counts(self) -> Dict[str, int]:
+        """Exact category -> number of records ever kept.
+
+        Counts survive capacity-ring eviction: they are lifetime totals
+        since construction (or the last :meth:`clear`), which is what the
+        telemetry layer reports per run.
+        """
+        return dict(self._category_totals)
 
     def last(self, prefix: Optional[str] = None) -> Optional[TraceRecord]:
         """Most recent record (under ``prefix`` if given), or None."""
@@ -141,5 +242,47 @@ class TraceLog:
         return None
 
     def clear(self) -> None:
-        """Drop all records (counters in kernel stats are unaffected)."""
+        """Drop all records and category totals (counters in kernel stats
+        are unaffected)."""
         self._records.clear()
+        self._category_totals.clear()
+
+    # -- JSONL export / import ---------------------------------------------
+
+    def jsonl_lines(self) -> Iterator[str]:
+        """The retained records as strict-JSON lines, oldest first."""
+        for record in self._records:
+            yield record.to_json()
+
+    def export_jsonl(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write the retained records to ``path`` as JSON Lines."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            for line in self.jsonl_lines():
+                handle.write(line + "\n")
+        return path
+
+    @classmethod
+    def from_jsonl(
+        cls, source: Union[str, pathlib.Path, Iterable[str]]
+    ) -> "TraceLog":
+        """Rebuild a (disabled) trace log from a JSONL file or lines.
+
+        The returned log holds the imported records for querying —
+        ``records()``, ``count()``, ``category_counts()`` — but is not
+        clock-bound and starts disabled, since it replays a past run.
+        """
+        if isinstance(source, (str, pathlib.Path)):
+            lines: Iterable[str] = pathlib.Path(source).read_text().splitlines()
+        else:
+            lines = source
+        log = cls(enabled=False)
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            record = TraceRecord.from_json(line)
+            log._records.append(record)
+            log._category_totals[record.category] += 1
+        return log

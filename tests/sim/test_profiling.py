@@ -1,0 +1,103 @@
+"""Unit tests for phase profiling (virtual/wall spans, nesting)."""
+
+from repro.sim.kernel import Simulator
+from repro.sim.profiling import PhaseProfiler
+from repro.sim.trace import TraceLog
+
+
+class TestSpans:
+    def test_span_records_virtual_interval(self):
+        clock = {"t": 1.0}
+        profiler = PhaseProfiler(clock=lambda: clock["t"])
+        with profiler.phase("build"):
+            clock["t"] = 4.5
+        (span,) = profiler.spans
+        assert span.name == "build"
+        assert span.virtual_start == 1.0
+        assert span.virtual_end == 4.5
+        assert span.virtual_s == 3.5
+        assert span.wall_s >= 0.0
+        assert span.depth == 0
+
+    def test_span_recorded_even_when_body_raises(self):
+        profiler = PhaseProfiler()
+        try:
+            with profiler.phase("boom"):
+                raise ValueError("inside")
+        except ValueError:
+            pass
+        assert [s.name for s in profiler.spans] == ["boom"]
+        assert profiler.current_phase is None
+
+    def test_snapshot_totals_accumulate(self):
+        clock = {"t": 0.0}
+        profiler = PhaseProfiler(clock=lambda: clock["t"])
+        for _ in range(3):
+            with profiler.phase("round"):
+                clock["t"] += 2.0
+        snap = profiler.snapshot()
+        assert snap["round.count"] == 3
+        assert snap["round.virtual_s"] == 6.0
+        assert snap["round.wall_s"] >= 0.0
+
+    def test_clear(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("x"):
+            pass
+        profiler.clear()
+        assert profiler.spans == []
+        assert profiler.snapshot() == {}
+
+
+class TestNesting:
+    def test_nested_phases_get_qualified_names(self):
+        clock = {"t": 0.0}
+        profiler = PhaseProfiler(clock=lambda: clock["t"])
+        with profiler.phase("round"):
+            clock["t"] = 1.0
+            with profiler.phase("exchange"):
+                clock["t"] = 3.0
+            with profiler.phase("report"):
+                clock["t"] = 4.0
+        names = [s.name for s in profiler.spans]
+        # Inner spans close first; the outer span covers both.
+        assert names == ["round/exchange", "round/report", "round"]
+        spans = {s.name: s for s in profiler.spans}
+        assert spans["round/exchange"].virtual_s == 2.0
+        assert spans["round/exchange"].depth == 1
+        assert spans["round"].virtual_s == 4.0
+        assert spans["round"].depth == 0
+
+    def test_current_phase_tracks_stack(self):
+        profiler = PhaseProfiler()
+        assert profiler.current_phase is None
+        with profiler.phase("a"):
+            assert profiler.current_phase == "a"
+            with profiler.phase("b"):
+                assert profiler.current_phase == "a/b"
+            assert profiler.current_phase == "a"
+        assert profiler.current_phase is None
+
+
+class TestTraceAndRegistry:
+    def test_spans_emit_trace_records(self):
+        trace = TraceLog()
+        profiler = PhaseProfiler(trace=trace)
+        with profiler.phase("tree"):
+            pass
+        record = trace.last("profile.phase")
+        assert record is not None
+        assert record.fields["phase"] == "tree"
+        assert "wall_s" in record.fields
+
+    def test_for_simulator_registers_phases_namespace(self):
+        sim = Simulator(seed=0, trace=TraceLog(enabled=True))
+        profiler = PhaseProfiler.for_simulator(sim)
+        sim.schedule(2.0, lambda: None)
+        with profiler.phase("run"):
+            sim.run()
+        snap = sim.metrics.snapshot()
+        assert snap["phases.run.count"] == 1
+        assert snap["phases.run.virtual_s"] == 2.0
+        # The span's trace record carries the simulator's virtual time.
+        assert sim.trace.last("profile.phase").time == 2.0

@@ -66,6 +66,126 @@ class TestTraceLog:
         assert len(log) == 0
 
 
+class TestCategoryCounts:
+    def test_counts_exact_categories(self):
+        log = TraceLog()
+        log.emit("mac.drop", "")
+        log.emit("mac.drop", "")
+        log.emit("medium.tx", "")
+        assert log.category_counts() == {"mac.drop": 2, "medium.tx": 1}
+
+    def test_counts_survive_ring_eviction(self):
+        log = TraceLog(capacity=2)
+        for _ in range(5):
+            log.emit("x", "")
+        assert len(log) == 2
+        assert log.category_counts() == {"x": 5}
+
+    def test_clear_resets_counts(self):
+        log = TraceLog()
+        log.emit("x", "")
+        log.clear()
+        assert log.category_counts() == {}
+
+
+class TestSubscribers:
+    def test_subscriber_sees_kept_records_in_order(self):
+        log = TraceLog()
+        seen = []
+        log.subscribe(lambda r: seen.append(r.category))
+        log.emit("a", "")
+        log.emit("b", "")
+        assert seen == ["a", "b"]
+
+    def test_multiple_subscribers_fire_in_subscription_order(self):
+        log = TraceLog()
+        order = []
+        log.subscribe(lambda r: order.append("first"))
+        log.subscribe(lambda r: order.append("second"))
+        log.emit("x", "")
+        assert order == ["first", "second"]
+
+    def test_filtered_records_not_delivered(self):
+        log = TraceLog(categories=["mac"])
+        seen = []
+        log.subscribe(seen.append)
+        log.emit("tree.join", "")
+        assert seen == []
+
+    def test_disabled_log_never_notifies(self):
+        log = TraceLog(enabled=False)
+        seen = []
+        log.subscribe(seen.append)
+        log.emit("x", "")
+        assert seen == []
+
+    def test_unsubscribe(self):
+        log = TraceLog()
+        seen = []
+        subscriber = log.subscribe(seen.append)
+        log.emit("x", "")
+        log.unsubscribe(subscriber)
+        log.emit("y", "")
+        assert len(seen) == 1
+        log.unsubscribe(subscriber)  # second removal is a no-op
+
+
+class TestJsonl:
+    def test_round_trip_preserves_records(self, tmp_path):
+        log = TraceLog()
+        log.bind_clock(lambda: 1.25)
+        log.emit("medium.tx", "node %(sender)s sends %(kind)s", sender=3, kind="ack")
+        log.emit("mac.drop", "dropped", node=7)
+        path = log.export_jsonl(tmp_path / "trace.jsonl")
+        loaded = TraceLog.from_jsonl(path)
+        assert len(loaded) == 2
+        first, second = loaded.records()
+        assert first.time == 1.25
+        assert first.category == "medium.tx"
+        assert first.message == "node 3 sends ack"
+        assert first.fields == {"sender": 3, "kind": "ack"}
+        assert second.fields == {"node": 7}
+        assert loaded.category_counts() == {"medium.tx": 1, "mac.drop": 1}
+
+    def test_lines_are_strict_json(self):
+        import json
+
+        log = TraceLog()
+        log.emit("x", "inf field", value=float("inf"))
+        (line,) = list(log.jsonl_lines())
+
+        def reject(token):
+            raise AssertionError(f"non-strict token {token!r}")
+
+        data = json.loads(line, parse_constant=reject)
+        assert data["fields"]["value"] is None
+
+    def test_non_json_fields_fall_back_to_repr(self):
+        import json
+
+        log = TraceLog()
+        log.emit("x", "", obj={1, 2})
+        (line,) = list(log.jsonl_lines())
+        data = json.loads(line)
+        assert isinstance(data["fields"]["obj"], str)
+
+    def test_from_jsonl_accepts_lines_and_skips_blanks(self):
+        log = TraceLog()
+        log.emit("a", "one")
+        lines = list(log.jsonl_lines()) + ["", "   "]
+        loaded = TraceLog.from_jsonl(lines)
+        assert len(loaded) == 1
+        assert loaded.last().category == "a"
+
+    def test_imported_log_starts_disabled(self):
+        log = TraceLog()
+        log.emit("a", "")
+        loaded = TraceLog.from_jsonl(list(log.jsonl_lines()))
+        assert not loaded.enabled
+        loaded.emit("b", "")  # no-op while disabled
+        assert len(loaded) == 1
+
+
 class TestFastPath:
     def test_disabled_emit_is_swapped_noop(self):
         log = TraceLog(enabled=False)
