@@ -1,0 +1,196 @@
+"""CI benchmark smoke check.
+
+Validates the committed benchmark artifacts and guards against gross
+hot-path regressions:
+
+1. strict-parses ``BENCH_e2e.json`` and ``BENCH_substrate.json`` at the
+   repo root (schema, required per-scenario/metric fields, no NaN/Inf);
+2. runs the end-to-end benchmark at ``--scale quick`` on the current
+   checkout and compares each scenario's best wall-clock against the
+   committed quick baseline (``benchmarks/baselines/BENCH_e2e_quick.json``
+   — *baselines*, not the gitignored ``results/``) — any scenario slower
+   than ``--max-ratio`` (default 2.0) times the baseline fails the job.
+
+The 2x tolerance is deliberately loose: CI runners are noisy and shared,
+so this is a tripwire for order-of-magnitude mistakes (an accidentally
+quadratic loop, a disabled fast path), not a precision perf gate. The
+committed full-scale numbers in ``BENCH_e2e.json`` are the reference for
+real perf work; refresh them — and the quick baseline — on a quiet
+machine whenever the hot path changes intentionally.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/check_bench.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+E2E_REPORT = REPO_ROOT / "BENCH_e2e.json"
+SUBSTRATE_REPORT = REPO_ROOT / "BENCH_substrate.json"
+QUICK_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_e2e_quick.json"
+
+#: Required fields in every e2e scenario entry / substrate metric entry.
+E2E_SCENARIO_FIELDS = (
+    "protocol",
+    "num_nodes",
+    "mean_degree",
+    "seed",
+    "best_seconds",
+    "transmissions",
+    "events_fired",
+)
+SUBSTRATE_METRIC_FIELDS = ("unit", "best_seconds", "ops_per_sec", "repeats")
+
+
+def _reject_constant(token: str) -> None:
+    raise SystemExit(f"non-strict JSON token {token!r}")
+
+
+def _load_strict(path: pathlib.Path) -> dict:
+    """Parse ``path`` as strict JSON (NaN/Infinity rejected)."""
+    if not path.is_file():
+        raise SystemExit(f"missing benchmark artifact: {path}")
+    return json.loads(path.read_text(), parse_constant=_reject_constant)
+
+
+def check_e2e_report(path: pathlib.Path) -> dict:
+    """Validate a bench-e2e report; returns its scenarios mapping."""
+    report = _load_strict(path)
+    if report.get("schema") != "bench-e2e/1":
+        raise SystemExit(f"{path.name}: unexpected schema {report.get('schema')!r}")
+    scenarios = report.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        raise SystemExit(f"{path.name}: no scenarios")
+    for name, entry in scenarios.items():
+        for field in E2E_SCENARIO_FIELDS:
+            if field not in entry:
+                raise SystemExit(f"{path.name}: scenario {name} missing {field!r}")
+        if entry["best_seconds"] <= 0:
+            raise SystemExit(f"{path.name}: scenario {name} has non-positive time")
+    return scenarios
+
+
+def check_substrate_report(path: pathlib.Path) -> dict:
+    """Validate a bench-substrate report; returns its metrics mapping."""
+    report = _load_strict(path)
+    if report.get("schema") != "bench-substrate/1":
+        raise SystemExit(f"{path.name}: unexpected schema {report.get('schema')!r}")
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        raise SystemExit(f"{path.name}: no metrics")
+    for name, entry in metrics.items():
+        for field in SUBSTRATE_METRIC_FIELDS:
+            if field not in entry:
+                raise SystemExit(f"{path.name}: metric {name} missing {field!r}")
+        if entry["best_seconds"] <= 0:
+            raise SystemExit(f"{path.name}: metric {name} has non-positive time")
+    return metrics
+
+
+def run_quick_bench(repeats: int) -> dict:
+    """Run the e2e bench at quick scale; returns its scenarios mapping."""
+    with tempfile.TemporaryDirectory() as tmp:
+        output = pathlib.Path(tmp) / "bench_quick.json"
+        subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "benchmarks" / "run_e2e_bench.py"),
+                "--scale",
+                "quick",
+                "--repeats",
+                str(repeats),
+                "--output",
+                str(output),
+            ],
+            check=True,
+            cwd=REPO_ROOT,
+        )
+        return check_e2e_report(output)
+
+
+def compare(
+    baseline: dict, fresh: dict, max_ratio: float, min_slack: float
+) -> int:
+    """Print per-scenario ratios; return the number of regressions.
+
+    A scenario regresses when it exceeds ``baseline * max_ratio`` *and*
+    ``baseline + min_slack``: the sub-10ms quick scenarios are dominated
+    by constant scheduler noise, so a pure ratio would flap on them
+    while an order-of-magnitude mistake still blows far past both bars.
+    """
+    regressions = 0
+    for name, base_entry in sorted(baseline.items()):
+        fresh_entry = fresh.get(name)
+        if fresh_entry is None:
+            print(f"FAIL {name}: missing from fresh run")
+            regressions += 1
+            continue
+        base = base_entry["best_seconds"]
+        now = fresh_entry["best_seconds"]
+        ratio = now / base
+        regressed = ratio > max_ratio and now > base + min_slack
+        verdict = "REGRESSED" if regressed else "ok"
+        print(f"{name:24s} baseline={base:8.4f}s now={now:8.4f}s x{ratio:5.2f} {verdict}")
+        if regressed:
+            regressions += 1
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=2.0,
+        help="fail when a quick scenario is slower than baseline * ratio (default 2.0)",
+    )
+    parser.add_argument(
+        "--min-slack",
+        type=float,
+        default=0.05,
+        help="absolute seconds a scenario must also exceed baseline by "
+        "before counting as a regression (noise floor, default 0.05)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing passes per quick scenario (default 3)",
+    )
+    parser.add_argument(
+        "--skip-run",
+        action="store_true",
+        help="only validate the committed artifacts; skip the fresh quick run",
+    )
+    args = parser.parse_args(argv)
+
+    scenarios = check_e2e_report(E2E_REPORT)
+    metrics = check_substrate_report(SUBSTRATE_REPORT)
+    print(
+        f"{E2E_REPORT.name}: {len(scenarios)} scenarios ok; "
+        f"{SUBSTRATE_REPORT.name}: {len(metrics)} metrics ok"
+    )
+
+    if args.skip_run:
+        return 0
+
+    baseline = check_e2e_report(QUICK_BASELINE)
+    fresh = run_quick_bench(args.repeats)
+    regressions = compare(baseline, fresh, args.max_ratio, args.min_slack)
+    if regressions:
+        print(f"{regressions} scenario(s) regressed beyond {args.max_ratio}x")
+        return 1
+    print(f"all {len(baseline)} quick scenarios within {args.max_ratio}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

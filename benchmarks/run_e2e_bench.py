@@ -1,0 +1,228 @@
+"""End-to-end protocol benchmark runner.
+
+Times representative full protocol rounds — TAG baseline and iCPDA, each
+over sparse and dense deployments at small and large network sizes — and
+writes the numbers to ``BENCH_e2e.json`` at the repo root (the perf
+trajectory reader looks there), with a copy under ``benchmarks/results/``.
+
+Unlike ``run_substrate_bench.py`` (microbenchmarks of the kernel and the
+share algebra), every scenario here is a complete protocol execution:
+deployment, Simulator, NetworkStack, tree flood, clustering, share
+exchange, integrity phase, and aggregation, exactly as the experiment
+suite drives them. The dense/large scenarios are the regime the medium's
+hot path dominates — every broadcast fans out to ~15-20 promiscuous
+receivers.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/run_e2e_bench.py              # full scale
+    PYTHONPATH=src python benchmarks/run_e2e_bench.py --scale quick
+
+Each scenario is measured as best-of-``--repeats`` wall-clock passes
+(deployment generation excluded; everything from Simulator construction
+onward included). Seeded identically every pass, so the work per pass is
+byte-identical and best-of suppresses scheduler noise only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_e2e.json"
+RESULTS_COPY = REPO_ROOT / "benchmarks" / "results" / "BENCH_e2e.json"
+
+#: Unit-disk radio range shared by every scenario (the paper's MICA motes).
+RANGE_M = 50.0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One timed end-to-end scenario.
+
+    ``field_size`` is chosen per node count to pin the *mean degree*
+    (how many radios overhear each frame): sparse ~8, dense ~16-20.
+    """
+
+    protocol: str  # "tag" | "icpda"
+    num_nodes: int
+    field_size: float
+    seed: int
+
+
+def _scenarios(scale: str) -> Dict[str, Scenario]:
+    if scale == "quick":
+        return {
+            "tag_sparse_small": Scenario("tag", 80, 280.0, 11),
+            "icpda_sparse_small": Scenario("icpda", 80, 280.0, 11),
+            "tag_dense_small": Scenario("tag", 120, 250.0, 12),
+            "icpda_dense_small": Scenario("icpda", 120, 250.0, 12),
+        }
+    return {
+        "tag_sparse_small": Scenario("tag", 300, 540.0, 11),
+        "icpda_sparse_small": Scenario("icpda", 300, 540.0, 11),
+        "tag_dense_small": Scenario("tag", 400, 400.0, 12),
+        "icpda_dense_small": Scenario("icpda", 400, 400.0, 12),
+        "tag_dense_large": Scenario("tag", 2000, 950.0, 13),
+        "icpda_dense_large": Scenario("icpda", 2000, 950.0, 13),
+    }
+
+
+def _build_deployment(scenario: Scenario):
+    from repro.topology.deploy import uniform_deployment
+
+    rng = np.random.default_rng(scenario.seed)
+    return uniform_deployment(
+        scenario.num_nodes,
+        field_size=scenario.field_size,
+        radio_range=RANGE_M,
+        rng=rng,
+    )
+
+
+def _mean_degree(deployment) -> float:
+    from repro.topology.graphs import neighbors_within_range
+
+    adjacency = neighbors_within_range(deployment)
+    return sum(len(v) for v in adjacency.values()) / max(1, len(adjacency))
+
+
+def _run_icpda(scenario: Scenario, deployment) -> Tuple[float, dict]:
+    """One full iCPDA round; returns (seconds, channel/kernel stats)."""
+    from repro.core.config import IcpdaConfig
+    from repro.core.protocol import IcpdaProtocol
+    from repro.experiments.common import make_readings
+
+    readings = make_readings(
+        scenario.num_nodes, rng=np.random.default_rng(scenario.seed + 10_000)
+    )
+    start = time.perf_counter()
+    protocol = IcpdaProtocol(deployment, IcpdaConfig(), seed=scenario.seed)
+    protocol.setup()
+    result = protocol.run_round(readings)
+    elapsed = time.perf_counter() - start
+    assert result.clusters_completed > 0, "degenerate scenario: no clusters"
+    stats = dict(protocol.stack.medium.stats.snapshot())
+    stats["events_fired"] = protocol.sim.stats.fired
+    return elapsed, stats
+
+
+def _run_tag(scenario: Scenario, deployment) -> Tuple[float, dict]:
+    """One full TAG epoch; returns (seconds, channel/kernel stats)."""
+    from repro.aggregation.functions import make_aggregate
+    from repro.aggregation.tag import TagProtocol
+    from repro.aggregation.tree import build_aggregation_tree
+    from repro.experiments.common import make_readings
+    from repro.net.stack import NetworkStack
+    from repro.sim.kernel import Simulator
+
+    readings = make_readings(
+        scenario.num_nodes, rng=np.random.default_rng(scenario.seed + 10_000)
+    )
+    start = time.perf_counter()
+    sim = Simulator(seed=scenario.seed)
+    stack = NetworkStack(sim, deployment)
+    tree = build_aggregation_tree(stack)
+    protocol = TagProtocol(stack, tree, make_aggregate("sum"))
+    result = protocol.run(readings)
+    elapsed = time.perf_counter() - start
+    assert result.contributors > 0, "degenerate scenario: nobody participated"
+    stats = dict(stack.medium.stats.snapshot())
+    stats["events_fired"] = sim.stats.fired
+    return elapsed, stats
+
+
+_RUNNERS: Dict[str, Callable] = {"icpda": _run_icpda, "tag": _run_tag}
+
+
+def run_scenario(name: str, scenario: Scenario, repeats: int) -> dict:
+    """Time one scenario best-of-``repeats``; returns its report entry."""
+    deployment = _build_deployment(scenario)
+    degree = _mean_degree(deployment)
+    runner = _RUNNERS[scenario.protocol]
+    best = float("inf")
+    stats: dict = {}
+    for _ in range(max(1, repeats)):
+        elapsed, stats = runner(scenario, deployment)
+        best = min(best, elapsed)
+    entry = {
+        "protocol": scenario.protocol,
+        "num_nodes": scenario.num_nodes,
+        "field_size_m": scenario.field_size,
+        "mean_degree": round(degree, 2),
+        "seed": scenario.seed,
+        "repeats": max(1, repeats),
+        "best_seconds": round(best, 6),
+        "transmissions": stats.get("transmissions", 0),
+        "deliveries": stats.get("deliveries", 0),
+        "events_fired": stats.get("events_fired", 0),
+        "tx_per_sec": round(stats.get("transmissions", 0) / best, 1),
+    }
+    print(
+        f"{name:22s} N={scenario.num_nodes:<5d} deg={degree:5.1f} "
+        f"best={best:8.3f}s  {entry['tx_per_sec']:>10.1f} tx/s"
+    )
+    return entry
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        choices=("full", "quick"),
+        default="full",
+        help="full: paper-scale fields incl. N=2000 dense; quick: tiny CI smoke",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing passes per scenario; best pass is reported (default 3)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        help=f"where to write the JSON report (default {OUTPUT})",
+    )
+    parser.add_argument(
+        "--no-copy",
+        action="store_true",
+        help=f"skip the secondary copy under {RESULTS_COPY.parent}/",
+    )
+    args = parser.parse_args(argv)
+
+    scenarios = _scenarios(args.scale)
+    report = {
+        "schema": "bench-e2e/1",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scale": args.scale,
+        "scenarios": {
+            name: run_scenario(name, scenario, args.repeats)
+            for name, scenario in scenarios.items()
+        },
+    }
+
+    output = args.output if args.output is not None else OUTPUT
+    output.parent.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(report, indent=2) + "\n"
+    output.write_text(payload)
+    print(f"\nwrote {output}")
+    if not args.no_copy and args.output is None:
+        RESULTS_COPY.parent.mkdir(parents=True, exist_ok=True)
+        RESULTS_COPY.write_text(payload)
+        print(f"wrote {RESULTS_COPY}")
+
+
+if __name__ == "__main__":
+    main()

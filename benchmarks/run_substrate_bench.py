@@ -3,8 +3,10 @@
 Times the four substrate hot paths guarded by
 ``benchmarks/test_perf_substrate.py`` — kernel event throughput, share
 generation, Lagrange recovery, and one full 250-node iCPDA round — and
-writes the numbers to ``benchmarks/results/BENCH_substrate.json`` so
-later PRs have a machine-readable perf baseline to diff against.
+writes the numbers to ``BENCH_substrate.json`` at the repo root (the
+perf trajectory reader looks there), with a copy under
+``benchmarks/results/``, so later PRs have a machine-readable perf
+baseline to diff against.
 
 Run from the repo root::
 
@@ -25,8 +27,9 @@ import time
 
 import numpy as np
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-OUTPUT = RESULTS_DIR / "BENCH_substrate.json"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_substrate.json"
+RESULTS_COPY = REPO_ROOT / "benchmarks" / "results" / "BENCH_substrate.json"
 
 
 def best_of(fn, repeats: int) -> float:
@@ -123,8 +126,13 @@ def main() -> None:
     parser.add_argument(
         "--output",
         type=pathlib.Path,
-        default=OUTPUT,
+        default=None,
         help=f"where to write the JSON report (default {OUTPUT})",
+    )
+    parser.add_argument(
+        "--no-copy",
+        action="store_true",
+        help=f"skip the secondary copy under {RESULTS_COPY.parent}/",
     )
     args = parser.parse_args()
 
@@ -160,9 +168,15 @@ def main() -> None:
         "numpy": np.__version__,
         "metrics": metrics,
     }
-    args.output.parent.mkdir(exist_ok=True)
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"\nwrote {args.output}")
+    output = args.output if args.output is not None else OUTPUT
+    output.parent.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(report, indent=2) + "\n"
+    output.write_text(payload)
+    print(f"\nwrote {output}")
+    if not args.no_copy and args.output is None:
+        RESULTS_COPY.parent.mkdir(parents=True, exist_ok=True)
+        RESULTS_COPY.write_text(payload)
+        print(f"wrote {RESULTS_COPY}")
 
 
 if __name__ == "__main__":

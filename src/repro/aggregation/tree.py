@@ -125,11 +125,11 @@ class _TreeBuilder:
             self.result.children.setdefault(parent, []).append(node_id)
             self.result.children.setdefault(node_id, [])
             delay = self._rng.uniform(0.5, 1.5) * self._forward_delay_s
+            # Bound method + args payload: no per-hello closure allocation.
             self._stack.sim.schedule(
                 delay,
-                lambda: self._stack.broadcast(
-                    node_id, HELLO_KIND, {"depth": depth, "query": query}
-                ),
+                self._stack.broadcast,
+                args=(node_id, HELLO_KIND, {"depth": depth, "query": query}),
                 name="hello-forward",
             )
             self._stack.sim.trace.emit(

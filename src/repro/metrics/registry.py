@@ -28,10 +28,19 @@ SnapshotProvider = Callable[[], Mapping[str, Any]]
 
 
 class MetricsRegistry:
-    """Named snapshot providers merged into one namespaced dict."""
+    """Named snapshot providers merged into one namespaced dict.
 
-    def __init__(self) -> None:
+    The plain attribute :attr:`enabled` (default True) is the registry's
+    zero-cost off switch: while False, :meth:`snapshot` and :meth:`nested`
+    return empty dicts without calling any provider, so a run that wants
+    no metrics pays a single predicate — registration itself is always
+    free because providers are only ever invoked at snapshot time.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
         self._providers: Dict[str, SnapshotProvider] = {}
+        #: When False, snapshots short-circuit to ``{}`` (no provider runs).
+        self.enabled = bool(enabled)
 
     def register(
         self,
@@ -80,6 +89,8 @@ class MetricsRegistry:
         cleanly.
         """
         merged: Dict[str, Any] = {}
+        if not self.enabled:
+            return merged
         for namespace, provider in self._providers.items():
             value = provider()
             if not isinstance(value, Mapping):
@@ -92,6 +103,8 @@ class MetricsRegistry:
 
     def nested(self) -> Dict[str, Dict[str, Any]]:
         """Namespace -> that provider's (unflattened) snapshot dict."""
+        if not self.enabled:
+            return {}
         return {ns: dict(provider()) for ns, provider in self._providers.items()}
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -98,6 +98,7 @@ class CsmaMac:
     ) -> None:
         self._sim = sim
         self._medium = medium
+        self._radio = medium.radio
         self._node_id = node_id
         self._params = params if params is not None else MacParams()
         self._on_drop = on_drop
@@ -142,12 +143,14 @@ class CsmaMac:
             if attempts >= self._params.max_attempts:
                 self._queue.popleft()
                 self.stats.dropped += 1
-                self._sim.trace.emit(
-                    "mac.drop",
-                    f"node {self._node_id} dropped {packet.kind}",
-                    node=self._node_id,
-                    kind=packet.kind,
-                )
+                trace = self._sim.trace
+                if trace.on:
+                    trace.emit(
+                        "mac.drop",
+                        f"node {self._node_id} dropped {packet.kind}",
+                        node=self._node_id,
+                        kind=packet.kind,
+                    )
                 if self._on_drop is not None:
                     self._on_drop(packet)
                 self._schedule_next(0.0)
@@ -164,7 +167,7 @@ class CsmaMac:
         self.stats.sent += 1
         self._medium.transmit(self._node_id, packet)
         # Wait out our own airtime plus a small gap before the next frame.
-        gap = self._medium.radio.airtime(packet) + self._rng.uniform(
+        gap = self._radio.airtime(packet) + self._rng.uniform(
             0.0, self._params.backoff_min_s
         )
         self._schedule_next(gap)

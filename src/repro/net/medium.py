@@ -16,13 +16,26 @@ end time. Delivery happens for **every** in-range node — addressing is a
 link-layer filter, so promiscuous listeners (iCPDA witnesses) observe
 frames not addressed to them. This shared-medium behaviour is exactly the
 physical property the paper's integrity mechanism exploits.
+
+Hot path
+--------
+In dense fields every frame fans out to ~15-20 radios, so the per-frame
+bookkeeping here dominates simulator wall-clock. The implementation
+therefore keeps *O(1)-per-receiver* state — an integer overlap counter
+per node plus one global list of in-flight transmissions — instead of a
+per-node set of transmission objects, and materializes a transmission's
+per-receiver corruption map only when an overlap actually occurs (under
+CSMA the channel is idle for the vast majority of frames). The observable
+behaviour (deliveries, corruption causes, RNG draws, trace records) is
+byte-identical to the reference set-based implementation; the invariants
+that guarantee this are documented in ``docs/PERF.md``.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import SimulationError
 from repro.net.packet import Packet
@@ -38,17 +51,40 @@ CAUSE_COLLISION = "collision"
 CAUSE_HALF_DUPLEX = "half_duplex"
 
 
-@dataclass(eq=False)  # identity semantics: each transmission is unique
 class _Transmission:
-    """Bookkeeping for one in-flight frame."""
+    """Bookkeeping for one in-flight frame.
 
-    tx_id: int
-    sender: int
-    packet: Packet
-    start: float
-    end: float
-    #: receiver id -> first corruption cause observed at that receiver.
-    corrupted_at: Dict[int, str] = field(default_factory=dict)
+    ``corrupted_at`` (receiver id -> first corruption cause observed at
+    that receiver) is ``None`` until the first corruption: clean frames —
+    the common case under CSMA — never allocate the dict.
+    """
+
+    __slots__ = ("tx_id", "sender", "packet", "start", "end", "corrupted_at")
+
+    def __init__(
+        self, tx_id: int, sender: int, packet: Packet, start: float, end: float
+    ) -> None:
+        self.tx_id = tx_id
+        self.sender = sender
+        self.packet = packet
+        self.start = start
+        self.end = end
+        self.corrupted_at: Optional[Dict[int, str]] = None
+
+    def corrupt(self, receiver: int, cause: str) -> None:
+        """Record ``cause`` at ``receiver`` unless one is already set
+        (first cause wins)."""
+        corrupted = self.corrupted_at
+        if corrupted is None:
+            self.corrupted_at = {receiver: cause}
+        else:
+            corrupted.setdefault(receiver, cause)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"_Transmission(#{self.tx_id} from {self.sender} "
+            f"[{self.start:.6f}, {self.end:.6f}])"
+        )
 
 
 @dataclass
@@ -80,34 +116,52 @@ class WirelessMedium:
         Event kernel.
     adjacency:
         Unit-disk adjacency lists (node id -> in-range node ids), normally
-        from :func:`repro.topology.graphs.neighbors_within_range`.
+        from :func:`repro.topology.graphs.neighbors_within_range`. Interned
+        as tuples at construction; the topology must not change afterwards.
     radio:
         Physical-layer parameters.
     distances:
         Optional pairwise distance lookup ``(a, b) -> meters`` used for the
-        symbolic propagation term; zero when absent.
+        symbolic propagation term; zero when absent. Must be a *pure*
+        function of the (fixed) pair — results are cached per sender.
     """
 
     def __init__(
         self,
         sim: Simulator,
-        adjacency: Dict[int, List[int]],
+        adjacency: Mapping[int, Sequence[int]],
         radio: RadioParams,
         distances: Optional[Callable[[int, int], float]] = None,
     ) -> None:
         self._sim = sim
-        self._adjacency = adjacency
+        self._trace = sim.trace
+        self._adjacency: Dict[int, Tuple[int, ...]] = {
+            node: tuple(neighbors) for node, neighbors in adjacency.items()
+        }
+        self._neighbor_sets: Dict[int, frozenset] = {
+            node: frozenset(neighbors)
+            for node, neighbors in self._adjacency.items()
+        }
         self._radio = radio
         self._distances = distances
+        #: sender -> (receiver -> meters), lazily filled; geometry is fixed.
+        self._distance_cache: Dict[int, Dict[int, float]] = {}
         self._receivers: Dict[int, ReceiveCallback] = {}
-        self._audible: Dict[int, Set[_Transmission]] = {
-            node: set() for node in adjacency
-        }
+        #: node -> number of in-flight transmissions audible there. The
+        #: O(1) replacement for a per-node set of transmission objects.
+        self._audible_count: Dict[int, int] = {node: 0 for node in self._adjacency}
+        #: All in-flight transmissions (tiny under CSMA: usually 0 or 1).
+        self._active: List[_Transmission] = []
         self._transmitting: Dict[int, Optional[_Transmission]] = {
-            node: None for node in adjacency
+            node: None for node in self._adjacency
         }
         self._loss_rng = sim.rng.stream("medium.ambient_loss")
         self._dead: Set[int] = set()
+        #: True when the channel can lose otherwise-clean frames — gates
+        #: the ambient/fading RNG machinery off the fast completion pass.
+        self._lossy = radio.ambient_loss > 0 or (
+            radio.edge_fading > 0 and distances is not None
+        )
         # Per-medium counter: a module-level one would leak monotonically
         # increasing ids across Simulator instances in one process and
         # break run-to-run trace determinism.
@@ -125,9 +179,10 @@ class WirelessMedium:
             raise SimulationError(f"node {node_id} not in medium adjacency")
         self._receivers[node_id] = callback
 
-    def neighbors(self, node_id: int) -> List[int]:
-        """Node ids within radio range of ``node_id``."""
-        return list(self._adjacency[node_id])
+    def neighbors(self, node_id: int) -> Tuple[int, ...]:
+        """Node ids within radio range of ``node_id`` (immutable tuple —
+        callers on per-frame paths must not expect a fresh copy)."""
+        return self._adjacency[node_id]
 
     def kill_node(self, node_id: int) -> None:
         """Crash-stop ``node_id``: it transmits nothing and receives
@@ -136,7 +191,8 @@ class WirelessMedium:
         if node_id not in self._adjacency:
             raise SimulationError(f"unknown node {node_id}")
         self._dead.add(node_id)
-        self._sim.trace.emit("medium.kill", "node %(node)s crashed", node=node_id)
+        if self._trace.on:
+            self._trace.emit("medium.kill", "node %(node)s crashed", node=node_id)
 
     def is_dead(self, node_id: int) -> bool:
         """True if ``node_id`` was crash-stopped."""
@@ -145,7 +201,10 @@ class WirelessMedium:
     def carrier_busy(self, node_id: int) -> bool:
         """True if ``node_id`` senses energy on the channel right now
         (another audible transmission, or its own ongoing one)."""
-        return bool(self._audible[node_id]) or self._transmitting[node_id] is not None
+        return (
+            self._audible_count[node_id] > 0
+            or self._transmitting[node_id] is not None
+        )
 
     def transmit(self, sender: int, packet: Packet) -> None:
         """Put ``packet`` on the air from ``sender`` immediately.
@@ -153,58 +212,130 @@ class WirelessMedium:
         The MAC is responsible for carrier sensing *before* calling this;
         the medium faithfully corrupts whatever overlaps.
         """
-        if sender not in self._adjacency:
+        adjacency = self._adjacency
+        if sender not in adjacency:
             raise SimulationError(f"unknown sender {sender}")
         if sender in self._dead:
             return  # crashed radios stay silent
         now = self._sim.now
         airtime = self._radio.airtime(packet)
-        tx = _Transmission(
-            tx_id=next(self._tx_seq),
-            sender=sender,
-            packet=packet,
-            start=now,
-            end=now + airtime,
-        )
+        tx = _Transmission(next(self._tx_seq), sender, packet, now, now + airtime)
         self.stats.transmissions += 1
-        self._sim.trace.emit(
-            "medium.tx", "node %(sender)s sends %(kind)s", sender=sender,
-            kind=packet.kind, bytes=packet.size_bytes, tx=tx.tx_id,
-        )
-        # Half-duplex: if the sender was already mid-reception those frames
-        # are lost at the sender. The cause is recorded here, at corruption
-        # time — completion-time inference would misattribute it once the
-        # channel state moves on.
-        for ongoing in self._audible[sender]:
-            ongoing.corrupted_at.setdefault(sender, CAUSE_HALF_DUPLEX)
-        self._transmitting[sender] = tx
-
-        for receiver in self._adjacency[sender]:
-            active = self._audible[receiver]
-            if self._transmitting[receiver] is not None:
-                # A transmitting radio cannot listen: the new frame is lost
-                # at this receiver regardless of what else is in the air.
-                tx.corrupted_at.setdefault(receiver, CAUSE_HALF_DUPLEX)
-            if active:
-                # Overlap: this frame and every concurrently audible frame
-                # are corrupted at this receiver. First cause wins — a
-                # frame already lost to half-duplex stays attributed there.
-                tx.corrupted_at.setdefault(receiver, CAUSE_COLLISION)
+        trace = self._trace
+        if trace.on:
+            trace.emit(
+                "medium.tx", "node %(sender)s sends %(kind)s", sender=sender,
+                kind=packet.kind, bytes=packet.size_bytes, tx=tx.tx_id,
+            )
+        counts = self._audible_count
+        active = self._active
+        neighbors = adjacency[sender]
+        if active:
+            neighbor_sets = self._neighbor_sets
+            # Half-duplex: if the sender was already mid-reception those
+            # frames are lost at the sender. The cause is recorded here, at
+            # corruption time — completion-time inference would misattribute
+            # it once the channel state moves on.
+            if counts[sender]:
                 for ongoing in active:
-                    ongoing.corrupted_at.setdefault(receiver, CAUSE_COLLISION)
-            active.add(tx)
+                    if sender in neighbor_sets[ongoing.sender]:
+                        ongoing.corrupt(sender, CAUSE_HALF_DUPLEX)
+            self._transmitting[sender] = tx
+            transmitting = self._transmitting
+            for receiver in neighbors:
+                if transmitting[receiver] is not None:
+                    # A transmitting radio cannot listen: the new frame is
+                    # lost at this receiver regardless of what else is in
+                    # the air.
+                    tx.corrupt(receiver, CAUSE_HALF_DUPLEX)
+                if counts[receiver]:
+                    # Overlap: this frame and every concurrently audible
+                    # frame are corrupted at this receiver. First cause wins
+                    # — a frame already lost to half-duplex stays there.
+                    tx.corrupt(receiver, CAUSE_COLLISION)
+                    for ongoing in active:
+                        if receiver in neighbor_sets[ongoing.sender]:
+                            ongoing.corrupt(receiver, CAUSE_COLLISION)
+                counts[receiver] += 1
+        else:
+            # Idle channel (the common case under CSMA): nobody transmits,
+            # nothing is audible anywhere — no corruption is possible.
+            self._transmitting[sender] = tx
+            for receiver in neighbors:
+                counts[receiver] = 1
+        active.append(tx)
 
-        self._sim.schedule(
-            airtime, self._complete, args=(tx,), name=f"tx-end:{packet.kind}"
-        )
+        # Fire-and-forget: completion events are never cancelled (even a
+        # killed node's in-flight frame still completes), so no handle.
+        self._sim.schedule_callback(airtime, self._complete, (tx,))
 
     # -- internal ------------------------------------------------------------
 
     def _complete(self, tx: _Transmission) -> None:
         self._transmitting[tx.sender] = None
-        for receiver in self._adjacency[tx.sender]:
-            self._audible[receiver].discard(tx)
-            self._finish_reception(tx, receiver)
+        counts = self._audible_count
+        receivers = self._adjacency[tx.sender]
+        # Fast pass: nothing got corrupted and the channel cannot lose a
+        # clean frame, so this is a pure delivery sweep — no dict probes,
+        # no RNG, no trace. Receivers are still processed strictly in
+        # adjacency order and the overlap counter is decremented *before*
+        # each delivery, so a re-entrant transmit out of a delivery
+        # callback observes exactly the channel state the reference
+        # implementation would have shown it. ``corrupted_at`` is
+        # re-checked per receiver for the same reason.
+        if tx.corrupted_at is None and not self._lossy:
+            dead = self._dead
+            callbacks = self._receivers
+            stats = self.stats
+            distances = self._distances
+            packet = tx.packet
+            sender = tx.sender
+            if distances is None:
+                for receiver in receivers:
+                    counts[receiver] -= 1
+                    if tx.corrupted_at is not None:
+                        self._finish_reception(tx, receiver)
+                        continue
+                    callback = callbacks.get(receiver)
+                    if callback is None or receiver in dead:
+                        continue
+                    stats.deliveries += 1
+                    callback(packet)
+            else:
+                dist_row = self._distance_row(sender, receivers)
+                propagation_delay = self._radio.propagation_delay
+                schedule_callback = self._sim.schedule_callback
+                packet_args = (packet,)
+                for receiver in receivers:
+                    counts[receiver] -= 1
+                    if tx.corrupted_at is not None:
+                        self._finish_reception(tx, receiver)
+                        continue
+                    callback = callbacks.get(receiver)
+                    if callback is None or receiver in dead:
+                        continue
+                    stats.deliveries += 1
+                    delay = propagation_delay(dist_row[receiver])
+                    if delay > 0:
+                        schedule_callback(delay, callback, packet_args)
+                    else:
+                        callback(packet)
+        else:
+            for receiver in receivers:
+                counts[receiver] -= 1
+                self._finish_reception(tx, receiver)
+        self._active.remove(tx)
+
+    def _distance_row(
+        self, sender: int, receivers: Tuple[int, ...]
+    ) -> Dict[int, float]:
+        """Cached ``receiver -> meters`` for ``sender`` (fixed geometry)."""
+        row = self._distance_cache.get(sender)
+        if row is None:
+            distances = self._distances
+            row = {receiver: distances(sender, receiver) for receiver in receivers}
+            self._distance_cache[sender] = row
+        return row
 
     def _finish_reception(self, tx: _Transmission, receiver: int) -> None:
         # A crashed receiver observes nothing: its losses must not enter
@@ -213,7 +344,8 @@ class WirelessMedium:
         # stream — and therefore every other receiver's fate in a seeded
         # run — is byte-identical with and without the dead node.
         dead = receiver in self._dead
-        cause = tx.corrupted_at.get(receiver)
+        corrupted = tx.corrupted_at
+        cause = corrupted.get(receiver) if corrupted is not None else None
         if cause is not None:
             if dead:
                 return
@@ -221,34 +353,41 @@ class WirelessMedium:
                 self.stats.half_duplex_losses += 1
             else:
                 self.stats.collisions += 1
-            self._sim.trace.emit(
-                "medium.collision",
-                "frame %(kind)s lost at %(receiver)s (%(cause)s)",
-                sender=tx.sender,
-                receiver=receiver,
-                kind=tx.packet.kind,
-                cause=cause,
-            )
-            return
-        loss_probability = self._radio.ambient_loss
-        if self._radio.edge_fading > 0 and self._distances is not None:
-            loss_probability = 1.0 - (1.0 - loss_probability) * (
-                1.0
-                - self._radio.fading_loss_probability(
-                    self._distances(tx.sender, receiver)
+            trace = self._trace
+            if trace.on:
+                trace.emit(
+                    "medium.collision",
+                    "frame %(kind)s lost at %(receiver)s (%(cause)s)",
+                    sender=tx.sender,
+                    receiver=receiver,
+                    kind=tx.packet.kind,
+                    cause=cause,
                 )
+            return
+        radio = self._radio
+        loss_probability = radio.ambient_loss
+        if radio.edge_fading > 0 and self._distances is not None:
+            distance = self._distance_row(
+                tx.sender, self._adjacency[tx.sender]
+            ).get(receiver)
+            if distance is None:  # pragma: no cover - defensive
+                distance = self._distances(tx.sender, receiver)
+            loss_probability = 1.0 - (1.0 - loss_probability) * (
+                1.0 - radio.fading_loss_probability(distance)
             )
         if loss_probability > 0 and self._loss_rng.random() < loss_probability:
             if dead:
                 return
             self.stats.ambient_losses += 1
-            self._sim.trace.emit(
-                "medium.ambient_loss",
-                "frame %(kind)s faded at %(receiver)s",
-                sender=tx.sender,
-                receiver=receiver,
-                kind=tx.packet.kind,
-            )
+            trace = self._trace
+            if trace.on:
+                trace.emit(
+                    "medium.ambient_loss",
+                    "frame %(kind)s faded at %(receiver)s",
+                    sender=tx.sender,
+                    receiver=receiver,
+                    kind=tx.packet.kind,
+                )
             return
         callback = self._receivers.get(receiver)
         if callback is None or dead:
@@ -256,8 +395,10 @@ class WirelessMedium:
         self.stats.deliveries += 1
         delay = 0.0
         if self._distances is not None:
-            delay = self._radio.propagation_delay(self._distances(tx.sender, receiver))
+            delay = radio.propagation_delay(
+                self._distance_row(tx.sender, self._adjacency[tx.sender])[receiver]
+            )
         if delay > 0:
-            self._sim.schedule(delay, callback, args=(tx.packet,), name="rx-deliver")
+            self._sim.schedule_callback(delay, callback, (tx.packet,))
         else:
             callback(tx.packet)

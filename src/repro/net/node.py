@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import SimulationError
-from repro.net.packet import Packet
+from repro.net.packet import BROADCAST, Packet
 
 #: Handler signature for addressed frames.
 PacketHandler = Callable[[Packet], None]
@@ -73,10 +73,16 @@ class Node:
 
     def deliver(self, packet: Packet) -> None:
         """Entry point called by the medium for each clean frame."""
-        for listener in list(self._overhear):
-            self.overheard += 1
-            listener(packet)
-        if not packet.addressed_to(self.node_id):
+        if self._overhear:
+            # Snapshot only when listeners exist: most nodes have none,
+            # and a fresh list per delivery is pure allocation churn.
+            for listener in tuple(self._overhear):
+                self.overheard += 1
+                listener(packet)
+        dst = packet.dst
+        if dst != BROADCAST and dst != self.node_id:
+            # Inlined packet.addressed_to(): this runs once per audible
+            # frame network-wide, and most frames are not for this node.
             return
         self.received += 1
         handler = self._handlers.get(packet.kind)

@@ -36,12 +36,36 @@ HEADER_BYTES = 16
 _PACKET_SEQ = itertools.count()
 
 
+def _dict_payload_size(payload: dict) -> int:
+    """Size a plain dict of mostly-scalar values without the isinstance
+    chain — the shape of nearly every packet payload. Exact ``type``
+    checks exclude subclasses (and bool-as-int), so any value that is not
+    literally an int/float/str/bool falls back to :func:`payload_size`
+    with identical results."""
+    total = 0
+    for value in payload.values():
+        kind = type(value)
+        if kind is int:
+            total += 4 if -2147483648 <= value < 2147483648 else 8
+        elif kind is float:
+            total += 4
+        elif kind is str:
+            total += len(value.encode("utf-8"))
+        elif kind is bool:
+            total += 1
+        else:
+            total += payload_size(value)
+    return total
+
+
 def payload_size(value: Any) -> int:
     """Recursively compute the wire size in bytes of a payload value.
 
     Unknown object types must expose a ``wire_size()`` method; otherwise a
     :class:`TypeError` is raised so silent mis-accounting cannot happen.
     """
+    if type(value) is dict:
+        return _dict_payload_size(value)
     if value is None:
         return 0
     if isinstance(value, bool):
@@ -64,9 +88,10 @@ def payload_size(value: Any) -> int:
     raise TypeError(f"cannot size payload value of type {type(value).__name__}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Packet:
-    """An over-the-air frame.
+    """An over-the-air frame (slotted: the simulator allocates one per
+    transmission, so instance dicts would be pure overhead).
 
     Attributes
     ----------

@@ -64,10 +64,19 @@ class RadioParams:
             raise DeploymentError(
                 f"turnaround_s must be >= 0, got {self.turnaround_s}"
             )
+        # Airtime depends only on the frame size, and protocols send the
+        # same handful of sizes thousands of times per round — memoize.
+        # (Not a dataclass field: excluded from eq/hash/repr by design.)
+        object.__setattr__(self, "_airtime_cache", {})
 
     def airtime(self, packet: Packet) -> float:
         """Seconds the medium is occupied by ``packet``."""
-        return self.turnaround_s + (8.0 * packet.size_bytes) / self.bitrate_bps
+        size = packet.size_bytes
+        cached = self._airtime_cache.get(size)
+        if cached is None:
+            cached = self.turnaround_s + (8.0 * size) / self.bitrate_bps
+            self._airtime_cache[size] = cached
+        return cached
 
     def fading_loss_probability(self, distance_m: float) -> float:
         """Distance-dependent loss probability for one reception."""

@@ -14,7 +14,7 @@ only to this facade:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Mapping, Optional
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.metrics.counters import MessageCounters
@@ -67,7 +67,13 @@ class NetworkStack:
             )
         self.counters = counters if counters is not None else MessageCounters()
         self.energy = energy if energy is not None else EnergyModel()
-        self.adjacency = neighbors_within_range(deployment)
+        # Interned as tuples once: per-frame callers (clustering, share
+        # exchange, witness selection) read these thousands of times and
+        # must never pay for — or rely on — a fresh copy.
+        self.adjacency: Dict[int, Tuple[int, ...]] = {
+            node: tuple(neighbors)
+            for node, neighbors in neighbors_within_range(deployment).items()
+        }
         self.medium = WirelessMedium(
             sim,
             self.adjacency,
@@ -104,11 +110,18 @@ class NetworkStack:
         return totals
 
     def _make_delivery(self, node: Node) -> Callable[[Packet], None]:
+        # Bind the hot references once per node: this closure runs for
+        # every clean reception in the network (O(N * degree) per round).
+        node_id = node.node_id
+        account_rx = self.energy.account_rx
+        record_rx = self.counters.record_rx
+        node_deliver = node.deliver
+
         def deliver(packet: Packet) -> None:
-            self.energy.account_rx(node.node_id, packet.size_bytes)
-            if packet.addressed_to(node.node_id):
-                self.counters.record_rx(node.node_id, packet.kind, packet.size_bytes)
-            node.deliver(packet)
+            account_rx(node_id, packet.size_bytes)
+            if packet.dst == BROADCAST or packet.dst == node_id:
+                record_rx(node_id, packet.kind, packet.size_bytes)
+            node_deliver(packet)
 
         return deliver
 
@@ -178,9 +191,10 @@ class NetworkStack:
         """Attach a promiscuous listener at ``node_id`` (sees all frames)."""
         self.nodes[node_id].register_overhear(listener)
 
-    def neighbors(self, node_id: int) -> List[int]:
-        """Nodes within radio range of ``node_id``."""
-        return list(self.adjacency[node_id])
+    def neighbors(self, node_id: int) -> Tuple[int, ...]:
+        """Nodes within radio range of ``node_id``, as an immutable tuple
+        (no per-call copy — callers on per-frame paths rely on this)."""
+        return self.adjacency[node_id]
 
     def degree(self, node_id: int) -> int:
         """Number of radio neighbors of ``node_id``."""

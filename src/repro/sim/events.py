@@ -5,12 +5,17 @@ increasing sequence number guarantees a *stable, deterministic* order for
 events scheduled at the same instant with the same priority — essential
 for reproducible wireless simulations where many receptions land on the
 same tick.
+
+The kernel does not compare :class:`Event` objects on its heap — it
+stores ``(time, priority, seq, event)`` tuples so ordering resolves in C
+without ever calling :meth:`Event.__lt__` (the sequence number is unique,
+so comparison never reaches the event itself). ``Event.__lt__`` is kept
+for direct comparisons and tests.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Tuple
 
 from repro.errors import EventCancelledError
@@ -24,10 +29,19 @@ PRIORITY_LOW = 10
 
 _SEQ = itertools.count()
 
+#: Fast accessor for the shared sequence counter. The kernel's
+#: fire-and-forget path (:meth:`Simulator.schedule_callback`) draws from
+#: the *same* counter as :class:`Event` so heap tie-breaking stays
+#: globally deterministic regardless of which path scheduled what.
+next_seq = _SEQ.__next__
 
-@dataclass(order=True)
+
 class Event:
     """A scheduled callback, orderable by ``(time, priority, seq)``.
+
+    A plain ``__slots__`` class rather than a dataclass: the simulator
+    allocates one per scheduled callback, which makes construction cost
+    part of the kernel's hot path.
 
     Attributes
     ----------
@@ -47,13 +61,38 @@ class Event:
         Optional label used in traces and error messages.
     """
 
-    time: float
-    priority: int = PRIORITY_NORMAL
-    seq: int = field(default_factory=lambda: next(_SEQ))
-    callback: Optional[Callable[..., Any]] = field(default=None, compare=False)
-    args: Tuple[Any, ...] = field(default=(), compare=False)
-    name: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "priority", "seq", "callback", "args", "name", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int = PRIORITY_NORMAL,
+        seq: Optional[int] = None,
+        callback: Optional[Callable[..., Any]] = None,
+        args: Tuple[Any, ...] = (),
+        name: str = "",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq if seq is not None else next(_SEQ)
+        self.callback = callback
+        self.args = args
+        self.name = name
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __le__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) <= (
+            other.time,
+            other.priority,
+            other.seq,
+        )
 
     def fire(self) -> None:
         """Invoke the callback unless the event was cancelled."""
@@ -65,6 +104,12 @@ class Event:
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when popped."""
         self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Event(t={self.time!r}, priority={self.priority}, seq={self.seq}, "
+            f"name={self.name!r}{', cancelled' if self.cancelled else ''})"
+        )
 
 
 class EventHandle:

@@ -30,9 +30,18 @@ from typing import Any, Callable, List, Optional, Tuple
 from repro.errors import KernelStateError, ScheduleInPastError
 from repro.metrics.registry import MetricsRegistry
 from repro.sim import telemetry
-from repro.sim.events import PRIORITY_NORMAL, Event, EventHandle
+from repro.sim.events import PRIORITY_NORMAL, Event, EventHandle, next_seq
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceLog
+
+#: Heap entry: ``(time, priority, seq, event)`` — or, for the
+#: fire-and-forget path, ``(time, priority, seq, None, callback, args)``.
+#: Tuples order entirely in C — ``seq`` is unique, so a comparison never
+#: falls through past index 2 — which removes the per-comparison
+#: ``Event.__lt__`` calls that used to dominate dense-field runs. The
+#: two shapes share one sequence counter, so ordering is deterministic
+#: across both.
+_HeapEntry = Tuple[float, int, int, Optional[Event]]
 
 
 @dataclass
@@ -64,18 +73,6 @@ class KernelStats:
         }
 
 
-@dataclass
-class _StopCondition:
-    """Private record of why/when :meth:`Simulator.run` should stop."""
-
-    until: float = math.inf
-    max_events: Optional[int] = None
-    fired: int = 0
-
-    def exhausted(self) -> bool:
-        return self.max_events is not None and self.fired >= self.max_events
-
-
 class Simulator:
     """Deterministic discrete-event simulator.
 
@@ -94,7 +91,7 @@ class Simulator:
 
     def __init__(self, seed: int = 0, trace: Optional[TraceLog] = None) -> None:
         self._now = 0.0
-        self._heap: List[Event] = []
+        self._heap: List[_HeapEntry] = []
         self._running = False
         self.stats = KernelStats()
         self.rng = RngRegistry(seed)
@@ -146,9 +143,51 @@ class Simulator:
         """
         if math.isnan(delay) or delay < 0:
             raise ScheduleInPastError(f"cannot schedule with delay {delay!r}")
-        return self.schedule_at(
-            self._now + delay, callback, args=args, priority=priority, name=name
+        # Inlined push (rather than delegating to schedule_at): this is
+        # the kernel's hottest entry point — one call frame matters.
+        event = Event(
+            self._now + delay, priority, None, callback, args, name
         )
+        heapq.heappush(self._heap, (event.time, priority, event.seq, event))
+        stats = self.stats
+        stats.scheduled += 1
+        queue_len = len(self._heap)
+        if queue_len > stats.max_queue_len:
+            stats.max_queue_len = queue_len
+        return EventHandle(event)
+
+    def schedule_callback(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+    ) -> None:
+        """Schedule ``callback(*args)`` fire-and-forget: no handle, no
+        cancellation, normal priority.
+
+        This is the kernel's cheapest scheduling path — the heap entry
+        *is* the event (no :class:`Event` or :class:`EventHandle` is
+        allocated), which matters on the medium's delivery fan-out where
+        most of a dense run's events are scheduled and none are ever
+        cancelled. Ordering is identical to :meth:`schedule` because both
+        paths draw from the same sequence counter.
+
+        Raises
+        ------
+        ScheduleInPastError
+            If ``delay`` is negative (NaN is also rejected).
+        """
+        if math.isnan(delay) or delay < 0:
+            raise ScheduleInPastError(f"cannot schedule with delay {delay!r}")
+        heapq.heappush(
+            self._heap,
+            (self._now + delay, PRIORITY_NORMAL, next_seq(), None, callback, args),
+        )
+        stats = self.stats
+        stats.scheduled += 1
+        queue_len = len(self._heap)
+        if queue_len > stats.max_queue_len:
+            stats.max_queue_len = queue_len
 
     def schedule_at(
         self,
@@ -170,10 +209,13 @@ class Simulator:
             raise ScheduleInPastError(
                 f"cannot schedule at t={time!r} (now={self._now!r})"
             )
-        event = Event(time=time, priority=priority, callback=callback, args=args, name=name)
-        heapq.heappush(self._heap, event)
-        self.stats.scheduled += 1
-        self.stats.max_queue_len = max(self.stats.max_queue_len, len(self._heap))
+        event = Event(time, priority, None, callback, args, name)
+        heapq.heappush(self._heap, (time, priority, event.seq, event))
+        stats = self.stats
+        stats.scheduled += 1
+        queue_len = len(self._heap)
+        if queue_len > stats.max_queue_len:
+            stats.max_queue_len = queue_len
         return EventHandle(event)
 
     # -- execution ---------------------------------------------------------
@@ -187,7 +229,13 @@ class Simulator:
             True if an event fired; False if the queue was empty.
         """
         while self._heap:
-            event = heapq.heappop(self._heap)
+            entry = heapq.heappop(self._heap)
+            event = entry[3]
+            if event is None:
+                self._now = entry[0]
+                entry[4](*entry[5])
+                self.stats.fired += 1
+                return True
             if event.cancelled:
                 self.stats.cancelled += 1
                 continue
@@ -215,21 +263,44 @@ class Simulator:
         if math.isnan(until) or until < self._now:
             raise KernelStateError(f"cannot run until t={until!r} (now={self._now!r})")
         self._running = True
-        stop = _StopCondition(until=until, max_events=max_events)
+        # -1 sentinel = unbounded; only positive budgets ever decrement,
+        # so the sentinel never reaches the loop's == 0 stop.
+        remaining = max_events if max_events is not None else -1
+        heap = self._heap
+        stats = self.stats
+        heappop = heapq.heappop
         try:
-            while self._heap and not stop.exhausted():
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
-                    self.stats.cancelled += 1
+            while heap and remaining != 0:
+                head = heap[0]
+                event = head[3]
+                if event is None:
+                    # Fire-and-forget entry: most events in a dense run
+                    # (the delivery fan-out) take this branch, so it is
+                    # checked first and skips the cancellation test —
+                    # these entries cannot be cancelled.
+                    if head[0] > until:
+                        break
+                    heappop(heap)
+                    self._now = head[0]
+                    head[4](*head[5])
+                elif event.cancelled:
+                    heappop(heap)
+                    stats.cancelled += 1
                     continue
-                if head.time > stop.until:
-                    break
-                heapq.heappop(self._heap)
-                self._now = head.time
-                head.fire()
-                self.stats.fired += 1
-                stop.fired += 1
+                else:
+                    if head[0] > until:
+                        break
+                    heappop(heap)
+                    self._now = head[0]
+                    # Inlined Event.fire(): cancellation was checked above
+                    # and nothing can cancel the event between there and
+                    # here.
+                    callback = event.callback
+                    if callback is not None:
+                        callback(*event.args)
+                stats.fired += 1
+                if remaining > 0:
+                    remaining -= 1
         finally:
             self._running = False
         if math.isfinite(until):

@@ -111,7 +111,8 @@ class TraceLog:
     ----------
     enabled:
         When False (the default for production runs), :meth:`emit` is a
-        near-no-op.
+        near-no-op; the plain mirror attribute :attr:`on` lets hot call
+        sites skip even that (``if trace.on: trace.emit(...)``).
     categories:
         Optional whitelist of category prefixes; when set, only matching
         records are kept.
@@ -145,7 +146,12 @@ class TraceLog:
         # Swap the bound `emit` so a disabled log pays for nothing but the
         # call itself — hot paths may trace unconditionally with lazy
         # %-style templates and no formatting ever happens while off.
+        # ``on`` mirrors the flag as a *plain attribute* so the hottest
+        # call sites (medium transmit/receive, MAC backoff) can guard with
+        # ``if trace.on: trace.emit(...)`` — one dict lookup when tracing
+        # is off, no kwargs dict, no call at all.
         self._enabled = bool(value)
+        self.on = self._enabled
         self.emit = self._emit if self._enabled else self._emit_noop
 
     @property

@@ -16,7 +16,7 @@ def line_stack():
 
 class TestWiring:
     def test_adjacency_matches_geometry(self, line_stack):
-        assert line_stack.neighbors(0) == [1]
+        assert line_stack.neighbors(0) == (1,)
         assert sorted(line_stack.neighbors(2)) == [1, 3]
         assert line_stack.degree(2) == 2
 
