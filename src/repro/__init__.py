@@ -8,6 +8,11 @@ crypto layer, the TAG aggregation baseline, attack harnesses, and the
 analysis/experiment machinery that regenerates the evaluation suite
 documented in DESIGN.md / EXPERIMENTS.md.
 
+The public API below is re-exported lazily (PEP 562): importing a leaf
+module such as :mod:`repro.core.clustering` must not drag in the event
+kernel or a network backend. The transport-seam test suite
+(``tests/net/test_transport_seam.py``) pins that property.
+
 Quickstart
 ----------
 >>> import numpy as np
@@ -21,63 +26,52 @@ Quickstart
 (True, 0.98)
 """
 
-from repro.aggregation import (
-    AverageAggregate,
-    CountAggregate,
-    SumAggregate,
-    TagProtocol,
-    VarianceAggregate,
-    build_aggregation_tree,
-    make_aggregate,
-)
-from repro.core import (
-    AggregationService,
-    CollectOutcome,
-    IcpdaConfig,
-    IcpdaProtocol,
-    LocalizationResult,
-    RoundResult,
-    Verdict,
-    localize_polluter,
-)
-from repro.net import NetworkStack
-from repro.sim import Simulator
-from repro.topology import (
-    Deployment,
-    grid_deployment,
-    hotspot_deployment,
-    uniform_deployment,
-)
+from importlib import import_module
 
 # 1.1.0: dead-node TX/RX accounting fixes changed cell outcomes, so the
 # version bump also invalidates every cached experiment cell.
 __version__ = "1.1.0"
 
-__all__ = [
-    "__version__",
+#: Public name -> defining module, resolved on first attribute access.
+_EXPORTS = {
     # topology
-    "Deployment",
-    "uniform_deployment",
-    "grid_deployment",
-    "hotspot_deployment",
+    "Deployment": "repro.topology",
+    "uniform_deployment": "repro.topology",
+    "grid_deployment": "repro.topology",
+    "hotspot_deployment": "repro.topology",
     # kernel / network
-    "Simulator",
-    "NetworkStack",
+    "Simulator": "repro.sim",
+    "NetworkStack": "repro.net",
     # aggregation
-    "SumAggregate",
-    "CountAggregate",
-    "AverageAggregate",
-    "VarianceAggregate",
-    "make_aggregate",
-    "build_aggregation_tree",
-    "TagProtocol",
+    "SumAggregate": "repro.aggregation",
+    "CountAggregate": "repro.aggregation",
+    "AverageAggregate": "repro.aggregation",
+    "VarianceAggregate": "repro.aggregation",
+    "make_aggregate": "repro.aggregation",
+    "build_aggregation_tree": "repro.aggregation",
+    "TagProtocol": "repro.aggregation",
     # core protocol
-    "IcpdaConfig",
-    "IcpdaProtocol",
-    "RoundResult",
-    "Verdict",
-    "localize_polluter",
-    "LocalizationResult",
-    "AggregationService",
-    "CollectOutcome",
-]
+    "IcpdaConfig": "repro.core",
+    "IcpdaProtocol": "repro.core",
+    "RoundResult": "repro.core",
+    "Verdict": "repro.core",
+    "localize_polluter": "repro.core",
+    "LocalizationResult": "repro.core",
+    "AggregationService": "repro.core",
+    "CollectOutcome": "repro.core",
+}
+
+__all__ = ["__version__", *_EXPORTS]
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    value = getattr(import_module(module), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

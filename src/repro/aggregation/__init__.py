@@ -11,22 +11,44 @@
   no-privacy / no-integrity baseline.
 """
 
-from repro.aggregation.epoch import EpochSchedule
-from repro.aggregation.functions import (
-    AdditiveAggregate,
-    AverageAggregate,
-    CompositeAggregate,
-    CountAggregate,
-    FixedPointCodec,
-    MaxApproxAggregate,
-    MinApproxAggregate,
-    SumAggregate,
-    VarianceAggregate,
-    make_aggregate,
-)
-from repro.aggregation.slicing import SlicingAggregation, SlicingResult
-from repro.aggregation.tag import TagProtocol, TagResult
-from repro.aggregation.tree import TreeBuildResult, build_aggregation_tree
+from importlib import import_module
+
+#: Public name -> defining module, resolved on first attribute access
+#: (PEP 562, same convention as the other subpackages).
+_EXPORTS = {
+    "EpochSchedule": "repro.aggregation.epoch",
+    "AdditiveAggregate": "repro.aggregation.functions",
+    "AverageAggregate": "repro.aggregation.functions",
+    "CompositeAggregate": "repro.aggregation.functions",
+    "CountAggregate": "repro.aggregation.functions",
+    "FixedPointCodec": "repro.aggregation.functions",
+    "MaxApproxAggregate": "repro.aggregation.functions",
+    "MinApproxAggregate": "repro.aggregation.functions",
+    "SumAggregate": "repro.aggregation.functions",
+    "VarianceAggregate": "repro.aggregation.functions",
+    "make_aggregate": "repro.aggregation.functions",
+    "SlicingAggregation": "repro.aggregation.slicing",
+    "SlicingResult": "repro.aggregation.slicing",
+    "TagProtocol": "repro.aggregation.tag",
+    "TagResult": "repro.aggregation.tag",
+    "TreeBuildResult": "repro.aggregation.tree",
+    "build_aggregation_tree": "repro.aggregation.tree",
+}
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(
+            f"module 'repro.aggregation' has no attribute {name!r}"
+        )
+    value = getattr(import_module(module), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
 
 __all__ = [
     "AdditiveAggregate",

@@ -37,7 +37,7 @@ from repro.core.intracluster import ShareTransmission
 from repro.crypto.linksec import Ciphertext, LinkSecurity
 from repro.errors import AggregationError, NoSharedKeyError
 from repro.net.packet import Packet
-from repro.net.stack import NetworkStack
+from repro.net.transport import Transport
 
 SLICE_KIND = "slice"
 SLICE_ACK_KIND = "slice_ack"
@@ -101,7 +101,7 @@ class SlicingAggregation:
 
     def __init__(
         self,
-        stack: NetworkStack,
+        stack: Transport,
         tree: TreeBuildResult,
         aggregate: AdditiveAggregate,
         linksec: LinkSecurity,
@@ -195,7 +195,7 @@ class SlicingAggregation:
             arity = len(components)
             neighbors = [
                 n
-                for n in self._stack.adjacency[node]
+                for n in self._stack.neighbors(node)
                 if n in self._tree.parents and self._linksec.can_secure(node, n)
             ]
             count = min(self._num_slices - 1, len(neighbors))

@@ -21,7 +21,7 @@ from repro.aggregation.functions import AdditiveAggregate
 from repro.aggregation.tree import TreeBuildResult
 from repro.errors import AggregationError
 from repro.net.packet import Packet
-from repro.net.stack import NetworkStack
+from repro.net.transport import Transport
 
 #: Message kind for TAG partial state records.
 PARTIAL_KIND = "tag_partial"
@@ -86,7 +86,7 @@ class TagProtocol:
 
     def __init__(
         self,
-        stack: NetworkStack,
+        stack: Transport,
         tree: TreeBuildResult,
         aggregate: AdditiveAggregate,
         *,
@@ -224,7 +224,7 @@ class TagProtocol:
 
 
 def run_tag_round(
-    stack: NetworkStack,
+    stack: Transport,
     tree: TreeBuildResult,
     aggregate: AdditiveAggregate,
     readings: Dict[int, float],

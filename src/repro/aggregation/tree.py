@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.net.packet import Packet
-from repro.net.stack import NetworkStack
+from repro.net.transport import Transport
 
 #: Message kind used by the flood.
 HELLO_KIND = "hello"
@@ -86,7 +86,7 @@ class _TreeBuilder:
 
     def __init__(
         self,
-        stack: NetworkStack,
+        stack: Transport,
         root: int,
         forward_delay_s: float,
         query: str = "",
@@ -97,7 +97,7 @@ class _TreeBuilder:
         self._query = query
         self._rng = stack.sim.rng.stream("tree.forward_jitter")
         self.result = TreeBuildResult(root=root)
-        for node_id in stack.nodes:
+        for node_id in stack.node_ids():
             stack.register_handler(node_id, HELLO_KIND, self._make_handler(node_id))
 
     def start(self) -> None:
@@ -144,7 +144,7 @@ class _TreeBuilder:
 
 
 def build_aggregation_tree(
-    stack: NetworkStack,
+    stack: Transport,
     *,
     root: Optional[int] = None,
     forward_delay_s: float = 0.02,

@@ -46,6 +46,7 @@ class AttackScenario:
     config: IcpdaConfig
     readings: Optional[Dict[int, float]] = None
     seed: int = 0
+    transport: str = "des"
 
     def __post_init__(self) -> None:
         if self.readings is None:
@@ -57,7 +58,9 @@ class AttackScenario:
 
     def run_clean(self, round_id: int = 0) -> RoundResult:
         """One honest round."""
-        protocol = IcpdaProtocol(self.deployment, self.config, seed=self.seed)
+        protocol = IcpdaProtocol(
+            self.deployment, self.config, seed=self.seed, transport=self.transport
+        )
         protocol.setup()
         return protocol.run_round(self.readings, round_id=round_id)
 
@@ -76,7 +79,9 @@ class AttackScenario:
         """
         if role not in ("head", "relay"):
             raise ReproError(f"role must be 'head' or 'relay', got {role!r}")
-        protocol = IcpdaProtocol(self.deployment, self.config, seed=self.seed)
+        protocol = IcpdaProtocol(
+            self.deployment, self.config, seed=self.seed, transport=self.transport
+        )
         tree = protocol.setup()
         protocol.run_round(self.readings, round_id=round_id)
         assert protocol.last_exchange is not None
@@ -110,7 +115,11 @@ class AttackScenario:
             attackers=attackers, strategy=strategy, magnitude=magnitude
         )
         protocol = IcpdaProtocol(
-            self.deployment, self.config, seed=self.seed, attack_plan=attack
+            self.deployment,
+            self.config,
+            seed=self.seed,
+            attack_plan=attack,
+            transport=self.transport,
         )
         protocol.setup()
         result = protocol.run_round(self.readings, round_id=round_id)
@@ -125,6 +134,7 @@ def run_detection_trials(
     trials: int = 5,
     config: Optional[IcpdaConfig] = None,
     base_seed: int = 0,
+    transport: str = "des",
 ) -> Tuple[DetectionStats, List[RoundResult], List[RoundResult]]:
     """Paired attacked/clean trials for the detection-ratio experiment.
 
@@ -151,7 +161,7 @@ def run_detection_trials(
         seed = base_seed + trial
         rng = np.random.default_rng(seed)
         deployment = uniform_deployment(num_nodes, rng=rng)
-        scenario = AttackScenario(deployment, cfg, seed=seed)
+        scenario = AttackScenario(deployment, cfg, seed=seed, transport=transport)
         candidates = scenario.candidate_attackers(role=role)
         if len(candidates) < num_attackers:
             raise ReproError(

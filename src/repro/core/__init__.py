@@ -17,16 +17,45 @@ Layers, bottom-up:
 * :mod:`repro.core.localization` — O(log N)-round isolation of a
   polluting cluster by subset re-aggregation.
 * :mod:`repro.core.protocol` — the full four-phase orchestrator.
+
+Exports resolve lazily (PEP 562): the phase modules are importable
+without the orchestrator's simulator/backends coming along.
 """
 
-from repro.core.clustering import Cluster, ClusteringResult
-from repro.core.config import IcpdaConfig
-from repro.core.field import DEFAULT_FIELD, PrimeField
-from repro.core.localization import LocalizationResult, localize_polluter
-from repro.core.operator import AggregationService, CollectOutcome
-from repro.core.protocol import IcpdaProtocol
-from repro.core.results import AlarmRecord, RoundResult, Verdict
-from repro.core.shares import ShareBundle, generate_share_bundles
+from importlib import import_module
+
+#: Public name -> defining module, resolved on first attribute access.
+_EXPORTS = {
+    "Cluster": "repro.core.clustering",
+    "ClusteringResult": "repro.core.clustering",
+    "IcpdaConfig": "repro.core.config",
+    "DEFAULT_FIELD": "repro.core.field",
+    "PrimeField": "repro.core.field",
+    "LocalizationResult": "repro.core.localization",
+    "localize_polluter": "repro.core.localization",
+    "AggregationService": "repro.core.operator",
+    "CollectOutcome": "repro.core.operator",
+    "IcpdaProtocol": "repro.core.protocol",
+    "AlarmRecord": "repro.core.results",
+    "RoundResult": "repro.core.results",
+    "Verdict": "repro.core.results",
+    "ShareBundle": "repro.core.shares",
+    "generate_share_bundles": "repro.core.shares",
+}
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
+    value = getattr(import_module(module), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
 
 __all__ = [
     "PrimeField",

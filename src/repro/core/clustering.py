@@ -34,7 +34,7 @@ from repro.aggregation.tree import TreeBuildResult
 from repro.core.config import IcpdaConfig
 from repro.errors import ClusterFormationError
 from repro.net.packet import Packet
-from repro.net.stack import NetworkStack
+from repro.net.transport import Transport
 
 ANNOUNCE_KIND = "head_announce"
 JOIN_KIND = "join"
@@ -138,7 +138,7 @@ class ClusterFormation:
 
     def __init__(
         self,
-        stack: NetworkStack,
+        stack: Transport,
         tree: TreeBuildResult,
         config: IcpdaConfig,
         round_id: int = 0,

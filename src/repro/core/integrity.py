@@ -42,7 +42,7 @@ from repro.core.config import IcpdaConfig
 from repro.core.intracluster import ExchangeResult
 from repro.core.results import AlarmReason, AlarmRecord, RoundResult, Verdict
 from repro.net.packet import Packet
-from repro.net.stack import NetworkStack
+from repro.net.transport import Transport
 
 REPORT_KIND = "report"
 REPORT_ABORT_KIND = "report_abort"
@@ -149,7 +149,7 @@ class ReportAndVerdictPhase:
 
     def __init__(
         self,
-        stack: NetworkStack,
+        stack: Transport,
         tree: TreeBuildResult,
         clustering: ClusteringResult,
         exchange: ExchangeResult,
@@ -202,7 +202,7 @@ class ReportAndVerdictPhase:
         # witness_fraction; bystander watchdogs use the same flags.
         self._witness_flags: Dict[int, bool] = {}
         witnessing = config.integrity_mode == "witnessed"
-        for node in stack.nodes:
+        for node in stack.node_ids():
             colluding = attack_plan is not None and self._plan_colludes(node)
             self._witness_flags[node] = (
                 witnessing
@@ -218,11 +218,13 @@ class ReportAndVerdictPhase:
 
         # cluster id -> (suspect, witness) -> expectation.
         self._expectations: Dict[int, Dict[Tuple[int, int], _Expectation]] = {}
-        self._processed_reports: Dict[int, Set[int]] = {n: set() for n in stack.nodes}
+        self._processed_reports: Dict[int, Set[int]] = {
+            n: set() for n in stack.node_ids()
+        }
         self._report_acked: Dict[Tuple[int, int], bool] = {}
         self._alarms: Dict[Tuple[int, int, str, int], AlarmRecord] = {}
         self._alarm_seen: Dict[int, Set[Tuple[int, int, str, int]]] = {
-            n: set() for n in stack.nodes
+            n: set() for n in stack.node_ids()
         }
 
     # -- public API --------------------------------------------------------------
@@ -233,7 +235,7 @@ class ReportAndVerdictPhase:
         cfg = self._config
         t0 = sim.now
 
-        for node in self._stack.nodes:
+        for node in self._stack.node_ids():
             self._stack.register_handler(node, REPORT_KIND, self._make_on_report(node))
             self._stack.register_handler(
                 node, REPORT_ABORT_KIND, self._make_on_report_abort(node)
@@ -243,7 +245,11 @@ class ReportAndVerdictPhase:
             )
             self._stack.register_handler(node, ALARM_KIND, self._make_on_alarm(node))
             if self._witness_flags.get(node):
-                self._stack.register_overhear(node, self._make_witness(node))
+                self._stack.register_overhear(
+                    node,
+                    self._make_witness(node),
+                    kinds=(REPORT_KIND, REPORT_ACK_KIND),
+                )
 
         for head in self._aborted_heads:
             delay = float(self._rng.uniform(0.1, 1.5))
@@ -477,7 +483,7 @@ class ReportAndVerdictPhase:
     # -- witnessing -----------------------------------------------------------------
 
     def _make_witness(self, node: int):
-        adjacency = set(self._stack.adjacency[node])
+        adjacency = set(self._stack.neighbors(node))
 
         def witness(packet: Packet) -> None:
             if packet.kind == REPORT_ACK_KIND:
@@ -646,7 +652,7 @@ class ReportAndVerdictPhase:
         if parent is not None:
             targets.append(parent)
         neighbors = [
-            n for n in self._stack.adjacency[witness]
+            n for n in self._stack.neighbors(witness)
             if n != parent and n in self._tree.parents
         ]
         if neighbors:

@@ -40,7 +40,7 @@ from repro.core.shares import (
 from repro.crypto.linksec import Ciphertext, LinkSecurity
 from repro.errors import NoSharedKeyError
 from repro.net.packet import Packet
-from repro.net.stack import NetworkStack
+from repro.net.transport import Transport
 
 SHARE_KIND = "share"
 SHARE_RELAY_KIND = "share_relay"
@@ -145,7 +145,7 @@ class IntraClusterExchange:
 
     def __init__(
         self,
-        stack: NetworkStack,
+        stack: Transport,
         clustering: ClusteringResult,
         config: IcpdaConfig,
         linksec: LinkSecurity,
@@ -232,7 +232,7 @@ class IntraClusterExchange:
                 self._held_bundles[member] = {}
                 self._witness_fvalues[member] = {}
 
-        for node in self._stack.nodes:
+        for node in self._stack.node_ids():
             self._stack.register_handler(node, SHARE_KIND, self._make_on_share(node))
             self._stack.register_handler(
                 node, SHARE_RELAY_KIND, self._make_on_share_relay(node)
@@ -245,7 +245,9 @@ class IntraClusterExchange:
                 node, FVALUE_ACK_KIND, self._make_on_fvalue_ack(node)
             )
             self._stack.register_handler(node, FSET_KIND, self._make_on_fset(node))
-            self._stack.register_overhear(node, self._make_overhear(node))
+            self._stack.register_overhear(
+                node, self._make_overhear(node), kinds=(FVALUE_KIND,)
+            )
 
         for state in self.result.states.values():
             if state.aborted_reason:
@@ -302,7 +304,7 @@ class IntraClusterExchange:
     ) -> None:
         """Send one encrypted share, directly or relayed via the head,
         and arm the ARQ timer."""
-        direct = recipient in self._stack.adjacency[sender]
+        direct = recipient in self._stack.neighbors(sender)
         payload = {"origin": sender, "dst": recipient, "ct": ciphertext}
         if direct:
             self._stack.send(sender, recipient, SHARE_KIND, payload)

@@ -40,7 +40,7 @@ from repro.crypto.keys import PairwiseKeyScheme
 from repro.crypto.linksec import LinkSecurity
 from repro.errors import ProtocolError
 from repro.net.radio import RadioParams
-from repro.net.stack import NetworkStack
+from repro.net.transport import Transport, create_transport
 from repro.sim.kernel import Simulator
 from repro.sim.profiling import PhaseProfiler
 from repro.sim.trace import TraceLog
@@ -75,6 +75,9 @@ class IcpdaProtocol:
         constructor arguments the name cannot express (e.g.
         ``MaxApproxAggregate(power=3)`` whose default power would
         overflow the share field).
+    transport:
+        Network backend: ``"des"`` (event-simulated, the default) or
+        ``"fluid"`` (closed-form loss/delay sampling — fast at large N).
     trace:
         Enable structured tracing (costs memory; great in tests).
     """
@@ -90,6 +93,7 @@ class IcpdaProtocol:
         field_: PrimeField = DEFAULT_FIELD,
         radio: Optional["RadioParams"] = None,
         aggregate: Optional[AdditiveAggregate] = None,
+        transport: str = "des",
         trace: bool = False,
     ) -> None:
         self.deployment = deployment
@@ -102,7 +106,10 @@ class IcpdaProtocol:
             seed=seed, trace=TraceLog(enabled=True) if trace else None
         )
         self.profiler = PhaseProfiler.for_simulator(self.sim)
-        self.stack = NetworkStack(self.sim, deployment, radio=radio)
+        self.transport_kind = transport
+        self.stack: Transport = create_transport(
+            transport, self.sim, deployment, radio=radio
+        )
         self.linksec = (
             linksec if linksec is not None else LinkSecurity(PairwiseKeyScheme())
         )
@@ -123,12 +130,7 @@ class IcpdaProtocol:
         """Build the aggregation tree and disseminate the query
         (Phase I). Idempotent."""
         if self.tree is None:
-            before = self.stack.counters.total_bytes
-            with self.profiler.phase("tree"):
-                self.tree = build_aggregation_tree(
-                    self.stack, query=self.config.aggregate_name
-                )
-            self.phase_bytes["tree"] = self.stack.counters.total_bytes - before
+            self._build_tree()
         return self.tree
 
     def rebuild_tree(self) -> TreeBuildResult:
@@ -141,6 +143,16 @@ class IcpdaProtocol:
         fresh HELLO — dead nodes stay silent, so the new tree routes
         around them. Costs one flood (~2 messages/alive node).
         """
+        return self._build_tree()
+
+    def _build_tree(self) -> TreeBuildResult:
+        """One Phase-I flood, accumulated into ``phase_bytes["tree"]``.
+
+        Accumulate-with-reset semantics: every flood (initial setup and
+        every rebuild) *adds* its cost to the ledger, and callers slice
+        accounting periods with :meth:`reset_phase_bytes` — so Phase-I
+        overhead is never silently overwritten mid-deployment.
+        """
         before = self.stack.counters.total_bytes
         with self.profiler.phase("tree"):
             self.tree = build_aggregation_tree(
@@ -152,6 +164,11 @@ class IcpdaProtocol:
             - before
         )
         return self.tree
+
+    def reset_phase_bytes(self) -> None:
+        """Start a fresh per-phase byte ledger (new accounting period on
+        the same network — the reset half of accumulate-with-reset)."""
+        self.phase_bytes.clear()
 
     # -- rounds -----------------------------------------------------------------
 
@@ -178,8 +195,8 @@ class IcpdaProtocol:
         if self.deployment.base_station in readings:
             raise ProtocolError("the base station does not sense")
 
-        for node in self.stack.nodes.values():
-            node.clear_overhear()
+        for node_id in self.stack.node_ids():
+            self.stack.clear_overhear(node_id)
 
         counters = self.stack.counters
 
@@ -236,11 +253,28 @@ class IcpdaProtocol:
     def _participating_heads(
         self, clustering: ClusteringResult
     ) -> Optional[Set[int]]:
+        """Clusters that run the exchange under ``restrict_to_clusters``.
+
+        Intended semantics: ``(restrict ∪ {base station}) ∩ formed
+        clusters``. The base station always self-elects and its cluster
+        never dissolves (see :class:`ClusterFormation`), so adding it
+        here is *not* a no-op intersected away — it guarantees the BS
+        cluster participates in every localization subset, keeping the
+        verdict's census denominator anchored even when ``restrict``
+        names only remote heads. Restricted heads that failed to form
+        this round are dropped by the intersection (their members sat the
+        round out anyway).
+        """
         restrict = self.config.restrict_to_clusters
         if restrict is None:
             return None
+        bs = self.deployment.base_station
+        assert bs in clustering.clusters, (
+            "formation invariant broken: the base station cluster is "
+            "always formed (it self-elects and never dissolves)"
+        )
         participating = set(restrict)
-        participating.add(self.deployment.base_station)
+        participating.add(bs)
         return participating & set(clustering.clusters)
 
     def total_bytes(self) -> int:

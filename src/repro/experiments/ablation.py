@@ -109,7 +109,12 @@ def cluster_size_cell(params: dict, seed: int, context: dict) -> dict:
     """One round with ``k_min = k_max = m`` pinned."""
     m = params["m"]
     cfg = fixed_cluster_config(m)
-    result, protocol = run_icpda_round(context["num_nodes"], cfg, seed=seed)
+    result, protocol = run_icpda_round(
+        context["num_nodes"],
+        cfg,
+        seed=seed,
+        transport=context.get("transport", "des"),
+    )
     return {
         "m": m,
         "participation": round(result.participation, 4),

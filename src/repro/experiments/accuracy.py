@@ -26,9 +26,12 @@ def accuracy_cell(params: dict, seed: int, context: dict) -> dict:
     """One (TAG round, iCPDA round) pair on the same deployment."""
     size = params["nodes"]
     workload = context["workload"]
-    tag_result, _ = run_tag_round_on(size, seed=seed, workload=workload)
+    transport = context.get("transport", "des")
+    tag_result, _ = run_tag_round_on(
+        size, seed=seed, workload=workload, transport=transport
+    )
     round_result, _ = run_icpda_round(
-        size, context["config"], seed=seed, workload=workload
+        size, context["config"], seed=seed, workload=workload, transport=transport
     )
     return {
         "tag_accuracy": tag_result.accuracy,
@@ -114,7 +117,12 @@ def run_accuracy_experiment(
 def aggregate_comparison_cell(params: dict, seed: int, context: dict) -> dict:
     """One iCPDA round with one aggregate function."""
     cfg = IcpdaConfig(aggregate_name=params["aggregate"])
-    result, _ = run_icpda_round(context["num_nodes"], cfg, seed=seed)
+    result, _ = run_icpda_round(
+        context["num_nodes"],
+        cfg,
+        seed=seed,
+        transport=context.get("transport", "des"),
+    )
     return {
         "aggregate": params["aggregate"],
         "verdict": result.verdict.value,

@@ -181,6 +181,16 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
         help="reuse cached cell results from a previous (interrupted) run",
     )
     parser.add_argument(
+        "--transport",
+        choices=("des", "fluid"),
+        default="des",
+        help=(
+            "network backend for every cell (default: des). The choice "
+            "enters each cell's cache key via the spec context, so des "
+            "and fluid results never collide in the cell cache."
+        ),
+    )
+    parser.add_argument(
         "--cache-dir",
         type=pathlib.Path,
         default=None,
@@ -250,6 +260,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     def run_one(exp_id: str) -> int:
         description, full, quick = registry[exp_id]
         spec = (quick if args.quick else full)()
+        # Key cached cells by backend: "des" is the implicit default (so
+        # pre-existing caches stay valid); "fluid" lands in the context
+        # and therefore in every cell's cache key.
+        if args.transport != "des":
+            spec.context["transport"] = args.transport
         report = execute(
             spec,
             jobs=args.jobs,

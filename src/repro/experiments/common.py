@@ -19,7 +19,7 @@ from repro.core.config import IcpdaConfig
 from repro.core.protocol import IcpdaProtocol
 from repro.core.results import RoundResult
 from repro.errors import ReproError
-from repro.net.stack import NetworkStack
+from repro.net.transport import Transport, create_transport
 from repro.sim.kernel import Simulator
 from repro.topology.deploy import Deployment, uniform_deployment
 
@@ -64,13 +64,17 @@ def build_icpda(
     config: Optional[IcpdaConfig] = None,
     seed: int = 0,
     deployment: Optional[Deployment] = None,
+    transport: str = "des",
 ) -> IcpdaProtocol:
     """Deploy a network and return a set-up protocol instance."""
     if deployment is None:
         rng = np.random.default_rng(seed)
         deployment = uniform_deployment(num_nodes, rng=rng)
     protocol = IcpdaProtocol(
-        deployment, config if config is not None else IcpdaConfig(), seed=seed
+        deployment,
+        config if config is not None else IcpdaConfig(),
+        seed=seed,
+        transport=transport,
     )
     protocol.setup()
     return protocol
@@ -82,9 +86,10 @@ def run_icpda_round(
     seed: int = 0,
     workload: str = "metering",
     round_id: int = 0,
+    transport: str = "des",
 ) -> Tuple[RoundResult, IcpdaProtocol]:
     """One full clean iCPDA round on a fresh deployment."""
-    protocol = build_icpda(num_nodes, config, seed)
+    protocol = build_icpda(num_nodes, config, seed, transport=transport)
     readings = make_readings(
         num_nodes, kind=workload, rng=np.random.default_rng(seed + 10_000)
     )
@@ -97,7 +102,8 @@ def run_tag_round_on(
     seed: int = 0,
     workload: str = "metering",
     aggregate_name: str = "sum",
-) -> Tuple[TagResult, NetworkStack]:
+    transport: str = "des",
+) -> Tuple[TagResult, Transport]:
     """One TAG epoch on a fresh deployment (the baseline driver).
 
     Uses the same deployment generator and workload as the iCPDA driver
@@ -106,7 +112,7 @@ def run_tag_round_on(
     rng = np.random.default_rng(seed)
     deployment = uniform_deployment(num_nodes, rng=rng)
     sim = Simulator(seed=seed)
-    stack = NetworkStack(sim, deployment)
+    stack = create_transport(transport, sim, deployment)
     tree = build_aggregation_tree(stack)
     readings = make_readings(
         num_nodes, kind=workload, rng=np.random.default_rng(seed + 10_000)

@@ -26,7 +26,7 @@ from repro.crypto.keys import PairwiseKeyScheme
 from repro.crypto.linksec import LinkSecurity
 from repro.experiments.engine import CellSpec, ExperimentSpec, run_serial
 from repro.metrics.privacy import DisclosureStats
-from repro.net.stack import NetworkStack
+from repro.net.transport import create_transport
 from repro.sim.kernel import Simulator
 from repro.topology.deploy import uniform_deployment
 
@@ -51,13 +51,14 @@ def compare_cell(params: dict, seed: int, context: dict) -> dict:
     num_nodes = context["num_nodes"]
     p_x = context["p_x"]
     cfg = context["config"]
+    transport = context.get("transport", "des")
     rng = np.random.default_rng(seed)
     readings = {i: float(rng.uniform(10.0, 30.0)) for i in range(1, num_nodes)}
     deployment = uniform_deployment(num_nodes, rng=np.random.default_rng(seed + 1))
 
     if scheme == "tag":
         sim = Simulator(seed=seed)
-        stack = NetworkStack(sim, deployment)
+        stack = create_transport(transport, sim, deployment)
         tree = build_aggregation_tree(stack)
         tag_result = TagProtocol(stack, tree, SumAggregate()).run(readings)
         return {
@@ -71,7 +72,7 @@ def compare_cell(params: dict, seed: int, context: dict) -> dict:
     if scheme.startswith("slicing_l"):
         num_slices = int(scheme[len("slicing_l") :])
         sim = Simulator(seed=seed)
-        stack = NetworkStack(sim, deployment)
+        stack = create_transport(transport, sim, deployment)
         tree = build_aggregation_tree(stack)
         slicing = SlicingAggregation(
             stack,
@@ -91,7 +92,7 @@ def compare_cell(params: dict, seed: int, context: dict) -> dict:
             "integrity": "none",
         }
 
-    protocol = IcpdaProtocol(deployment, cfg, seed=seed)
+    protocol = IcpdaProtocol(deployment, cfg, seed=seed, transport=transport)
     protocol.setup()
     icpda = protocol.run_round(readings)
     return {

@@ -20,7 +20,9 @@ def coverage_cell(params: dict, seed: int, context: dict) -> dict:
     """One iCPDA round: clustering coverage metrics for one trial."""
     size = params["nodes"]
     cfg = context["config"]
-    result, protocol = run_icpda_round(size, cfg, seed=seed)
+    result, protocol = run_icpda_round(
+        size, cfg, seed=seed, transport=context.get("transport", "des")
+    )
     clustering = protocol.last_clustering
     assert clustering is not None
     sensors = size - 1

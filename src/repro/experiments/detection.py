@@ -26,6 +26,7 @@ def detection_cell(params: dict, seed: int, context: dict) -> dict:
         trials=1,
         config=context["config"],
         base_seed=seed,
+        transport=context.get("transport", "des"),
     )
     return {
         "attacked_rounds": stats.attacked_rounds,
@@ -134,12 +135,13 @@ def collusion_cell(params: dict, seed: int, context: dict) -> dict:
     from repro.topology.deploy import uniform_deployment
 
     cfg = context["config"]
+    transport = context.get("transport", "des")
     colluding_fraction = params["colluding_fraction"]
     rng = np.random.default_rng(seed)
     deployment = uniform_deployment(context["num_nodes"], rng=rng)
     scenario = AttackScenario(deployment, cfg, seed=seed)
     # Dry run to learn the attacker's cluster membership.
-    protocol = IcpdaProtocol(deployment, cfg, seed=seed)
+    protocol = IcpdaProtocol(deployment, cfg, seed=seed, transport=transport)
     protocol.setup()
     protocol.run_round(scenario.readings)
     heads = [h for h in protocol.last_exchange.completed_clusters if h != 0]
@@ -156,7 +158,9 @@ def collusion_cell(params: dict, seed: int, context: dict) -> dict:
         TamperStrategy.CONSISTENT_OWN,
         colluders=colluders,
     )
-    attacked = IcpdaProtocol(deployment, cfg, seed=seed, attack_plan=attack)
+    attacked = IcpdaProtocol(
+        deployment, cfg, seed=seed, attack_plan=attack, transport=transport
+    )
     attacked.setup()
     result = attacked.run_round(scenario.readings)
     return {"detected": bool(result.detected_pollution)}

@@ -22,7 +22,9 @@ from repro.experiments.common import run_icpda_round
 def election_cell(params: dict, seed: int, context: dict) -> dict:
     """One round under one election mode at one size."""
     cfg = replace(context["config"], election_mode=params["mode"])
-    result, protocol = run_icpda_round(params["nodes"], cfg, seed=seed)
+    result, protocol = run_icpda_round(
+        params["nodes"], cfg, seed=seed, transport=context.get("transport", "des")
+    )
     clustering = protocol.last_clustering
     assert clustering is not None
     active = clustering.active_clusters

@@ -21,7 +21,7 @@ from repro.core.config import IcpdaConfig
 from repro.core.protocol import IcpdaProtocol
 from repro.experiments.common import make_readings
 from repro.net.radio import RadioParams
-from repro.net.stack import NetworkStack
+from repro.net.transport import create_transport
 from repro.sim.kernel import Simulator
 from repro.topology.deploy import uniform_deployment
 
@@ -35,12 +35,19 @@ def fading_cell(params: dict, seed: int, context: dict) -> dict:
     deployment = uniform_deployment(num_nodes, rng=np.random.default_rng(seed))
     readings = make_readings(num_nodes, rng=np.random.default_rng(seed + 1))
     radio = RadioParams(range_m=deployment.radio_range, edge_fading=fading)
+    transport = context.get("transport", "des")
     sim = Simulator(seed=seed)
-    stack = NetworkStack(sim, deployment, radio=radio)
+    stack = create_transport(transport, sim, deployment, radio=radio)
     tree = build_aggregation_tree(stack)
     tag = TagProtocol(stack, tree, SumAggregate()).run(readings)
 
-    protocol = IcpdaProtocol(deployment, cfg, seed=seed, radio=radio)
+    protocol = IcpdaProtocol(
+        deployment,
+        cfg,
+        seed=seed,
+        radio=radio,
+        transport=transport,
+    )
     protocol.setup()
     result = protocol.run_round(readings)
     return {

@@ -28,20 +28,21 @@ def integrity_cell(params: dict, seed: int, context: dict) -> dict:
     mode = params["mode"]
     num_nodes = context["num_nodes"]
     base = context["config"]
+    transport = context.get("transport", "des")
     deployment = uniform_deployment(num_nodes, rng=np.random.default_rng(seed))
     readings = make_readings(num_nodes, rng=np.random.default_rng(seed + 1))
     truth = sum(readings.values())
 
     # Pick the attacker head from a witnessed dry run — deterministic at
     # a fixed seed, so every mode cell attacks the same head.
-    scout = IcpdaProtocol(deployment, base, seed=seed)
+    scout = IcpdaProtocol(deployment, base, seed=seed, transport=transport)
     scout.setup()
     scout.run_round(readings)
     heads = [h for h in scout.last_exchange.completed_clusters if h != 0]
     attacker = heads[len(heads) // 2]
 
     cfg = replace(base, integrity_mode=mode)
-    clean = IcpdaProtocol(deployment, cfg, seed=seed)
+    clean = IcpdaProtocol(deployment, cfg, seed=seed, transport=transport)
     clean.setup()
     clean_result = clean.run_round(readings)
 
@@ -50,7 +51,9 @@ def integrity_cell(params: dict, seed: int, context: dict) -> dict:
         TamperStrategy.NAIVE_TOTAL,
         magnitude=context["tamper_magnitude"],
     )
-    attacked = IcpdaProtocol(deployment, cfg, seed=seed, attack_plan=attack)
+    attacked = IcpdaProtocol(
+        deployment, cfg, seed=seed, attack_plan=attack, transport=transport
+    )
     attacked.setup()
     attacked_result = attacked.run_round(readings)
 

@@ -50,7 +50,13 @@ def eg_cell(params: dict, seed: int, context: dict) -> dict:
     linksec = provision_eg_linksec(
         num_nodes, context["pool_size"], ring_size, np.random.default_rng(seed + 1)
     )
-    protocol = IcpdaProtocol(deployment, cfg, seed=seed, linksec=linksec)
+    protocol = IcpdaProtocol(
+        deployment,
+        cfg,
+        seed=seed,
+        linksec=linksec,
+        transport=context.get("transport", "des"),
+    )
     protocol.setup()
     readings = make_readings(num_nodes, rng=np.random.default_rng(seed + 2))
     result = protocol.run_round(readings)

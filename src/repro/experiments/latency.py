@@ -28,10 +28,11 @@ def latency_cell(params: dict, seed: int, context: dict) -> dict:
     """One size: paired TAG epoch and iCPDA round timings + energy."""
     size = params["nodes"]
     cfg = context["config"]
-    tag_result, tag_stack = run_tag_round_on(size, seed=seed)
+    transport = context.get("transport", "des")
+    tag_result, tag_stack = run_tag_round_on(size, seed=seed, transport=transport)
     tag_energy = tag_stack.energy.report()
 
-    protocol = build_icpda(size, cfg, seed=seed)
+    protocol = build_icpda(size, cfg, seed=seed, transport=transport)
     readings = make_readings(size, rng=np.random.default_rng(seed + 10_000))
     start = protocol.sim.now
     result = protocol.run_round(readings)

@@ -26,7 +26,7 @@ from repro.aggregation.tree import build_aggregation_tree
 from repro.core.config import IcpdaConfig
 from repro.core.protocol import IcpdaProtocol
 from repro.experiments.common import make_readings
-from repro.net.stack import NetworkStack
+from repro.net.transport import Transport, create_transport
 from repro.sim.kernel import Simulator
 from repro.topology.deploy import uniform_deployment
 
@@ -34,11 +34,11 @@ from repro.topology.deploy import uniform_deployment
 TAG_FAILURE_FLOOR = 0.5
 
 
-def _deplete(stack: NetworkStack, capacity_j: float, dead: set) -> List[int]:
+def _deplete(stack: Transport, capacity_j: float, dead: set) -> List[int]:
     """Kill nodes whose cumulative radio spend exceeds the budget;
     returns the newly dead (the base station is mains-powered)."""
     newly_dead = []
-    for node_id in stack.nodes:
+    for node_id in stack.node_ids():
         if node_id == 0 or node_id in dead:
             continue
         if stack.energy.spent(node_id) > capacity_j:
@@ -57,6 +57,7 @@ def run_icpda_lifetime(
     field_size: float = 400.0,
     rebuild_on_failure: bool = False,
     rebuild_below: float = 0.6,
+    transport: str = "des",
 ) -> Dict:
     """iCPDA rounds until the base station can no longer accept.
 
@@ -73,7 +74,7 @@ def run_icpda_lifetime(
         num_nodes, field_size=field_size, rng=np.random.default_rng(seed)
     )
     readings = make_readings(num_nodes, rng=np.random.default_rng(seed + 1))
-    protocol = IcpdaProtocol(deployment, cfg, seed=seed)
+    protocol = IcpdaProtocol(deployment, cfg, seed=seed, transport=transport)
     protocol.setup()
     dead: set = set()
     trajectory: List[dict] = []
@@ -133,6 +134,7 @@ def run_tag_lifetime(
     max_rounds: int = 40,
     seed: int = 0,
     field_size: float = 400.0,
+    transport: str = "des",
 ) -> Dict:
     """TAG epochs until accuracy drops below the failure floor."""
     deployment = uniform_deployment(
@@ -140,7 +142,7 @@ def run_tag_lifetime(
     )
     readings = make_readings(num_nodes, rng=np.random.default_rng(seed + 1))
     sim = Simulator(seed=seed)
-    stack = NetworkStack(sim, deployment)
+    stack = create_transport(transport, sim, deployment)
     tree = build_aggregation_tree(stack)
     protocol = TagProtocol(stack, tree, SumAggregate())
     dead: set = set()
@@ -201,6 +203,7 @@ def lifetime_cell(params: dict, seed: int, context: dict) -> dict:
         max_rounds=context["max_rounds"],
         seed=seed,
         field_size=context["field_size"],
+        transport=context.get("transport", "des"),
     )
     if params["scheme"] == "tag":
         outcome = run_tag_lifetime(**kwargs)

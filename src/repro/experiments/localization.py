@@ -29,6 +29,7 @@ def localize_one(
     seed: int,
     config: Optional[IcpdaConfig] = None,
     strategy: TamperStrategy = TamperStrategy.NAIVE_TOTAL,
+    transport: str = "des",
 ) -> Tuple[bool, int, int, int]:
     """One full localization episode.
 
@@ -38,7 +39,7 @@ def localize_one(
     cfg = config if config is not None else IcpdaConfig()
     rng = np.random.default_rng(seed)
     deployment = uniform_deployment(num_nodes, rng=rng)
-    scenario = AttackScenario(deployment, cfg, seed=seed)
+    scenario = AttackScenario(deployment, cfg, seed=seed, transport=transport)
     candidates = scenario.candidate_attackers(role="head")
     if not candidates:
         raise ReproError(f"seed {seed}: no candidate heads to attack")
@@ -51,6 +52,7 @@ def localize_one(
             cfg.with_restriction(subset),
             seed=seed,
             attack_plan=attack,
+            transport=transport,
         )
         protocol.setup()
         result = protocol.run_round(scenario.readings, round_id=0)
@@ -65,7 +67,10 @@ def localize_one(
 def localization_cell(params: dict, seed: int, context: dict) -> dict:
     """One localization episode as a cell."""
     found, probes, bound, clusters = localize_one(
-        params["nodes"], seed=seed, config=context["config"]
+        params["nodes"],
+        seed=seed,
+        config=context["config"],
+        transport=context.get("transport", "des"),
     )
     return {
         "found": bool(found),

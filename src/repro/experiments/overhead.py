@@ -26,11 +26,12 @@ _PHASES = ("clustering", "exchange", "report")
 def overhead_cell(params: dict, seed: int, context: dict) -> dict:
     """One round of one scheme: bytes on the air (+ phase breakdown)."""
     size = params["nodes"]
+    transport = context.get("transport", "des")
     if params["scheme"] == "tag":
-        _, stack = run_tag_round_on(size, seed=seed)
+        _, stack = run_tag_round_on(size, seed=seed, transport=transport)
         return {"bytes": stack.counters.total_bytes}
     cfg = fixed_cluster_config(params["m"])
-    _, protocol = run_icpda_round(size, cfg, seed=seed)
+    _, protocol = run_icpda_round(size, cfg, seed=seed, transport=transport)
     return {
         "bytes": protocol.total_bytes(),
         "phases": {phase: protocol.phase_bytes.get(phase, 0) for phase in _PHASES},

@@ -33,7 +33,12 @@ def privacy_cell(params: dict, seed: int, context: dict) -> List[dict]:
     """
     m = params["m"]
     cfg = fixed_cluster_config(m)
-    _, protocol = run_icpda_round(context["num_nodes"], cfg, seed=seed)
+    _, protocol = run_icpda_round(
+        context["num_nodes"],
+        cfg,
+        seed=seed,
+        transport=context.get("transport", "des"),
+    )
     exchange = protocol.last_exchange
     assert exchange is not None
     rng = np.random.default_rng(context["base_seed"] + 77 * m)

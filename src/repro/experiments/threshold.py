@@ -43,7 +43,13 @@ def threshold_cell(params: dict, seed: int, context: dict) -> int:
     radio = RadioParams(
         range_m=deployment.radio_range, edge_fading=context["edge_fading"]
     )
-    protocol = IcpdaProtocol(deployment, cfg, seed=seed, radio=radio)
+    protocol = IcpdaProtocol(
+        deployment,
+        cfg,
+        seed=seed,
+        radio=radio,
+        transport=context.get("transport", "des"),
+    )
     protocol.setup()
     readings = make_readings(
         context["num_nodes"], rng=np.random.default_rng(seed + 10_000)

@@ -13,27 +13,46 @@ on:
 * **byte-level accounting** of every frame (:mod:`repro.net.packet`),
   feeding the communication-overhead experiments;
 * **energy accounting** per node (:mod:`repro.net.energy`).
+
+Protocol phases must not import these backends directly — they code
+against the :class:`~repro.net.transport.Transport` seam, and this
+package resolves its exports lazily (PEP 562) so importing the seam does
+not pull in the DES machinery.
 """
 
-from repro.net.energy import EnergyModel, EnergyReport
-from repro.net.mac import CsmaMac, MacParams
-from repro.net.medium import WirelessMedium
-from repro.net.node import Node
-from repro.net.packet import BROADCAST, HEADER_BYTES, Packet, payload_size
-from repro.net.radio import RadioParams
-from repro.net.stack import NetworkStack
+from importlib import import_module
 
-__all__ = [
-    "Packet",
-    "payload_size",
-    "BROADCAST",
-    "HEADER_BYTES",
-    "RadioParams",
-    "WirelessMedium",
-    "CsmaMac",
-    "MacParams",
-    "Node",
-    "EnergyModel",
-    "EnergyReport",
-    "NetworkStack",
-]
+#: Public name -> defining module, resolved on first attribute access.
+_EXPORTS = {
+    "EnergyModel": "repro.net.energy",
+    "EnergyReport": "repro.net.energy",
+    "CsmaMac": "repro.net.mac",
+    "MacParams": "repro.net.mac",
+    "WirelessMedium": "repro.net.medium",
+    "Node": "repro.net.node",
+    "BROADCAST": "repro.net.packet",
+    "HEADER_BYTES": "repro.net.packet",
+    "Packet": "repro.net.packet",
+    "payload_size": "repro.net.packet",
+    "RadioParams": "repro.net.radio",
+    "NetworkStack": "repro.net.stack",
+    "FluidTransport": "repro.net.fluid",
+    "Transport": "repro.net.transport",
+    "create_transport": "repro.net.transport",
+    "TRANSPORT_KINDS": "repro.net.transport",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro.net' has no attribute {name!r}")
+    value = getattr(import_module(module), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,604 @@
+"""Analytic "fluid" transport: closed-form loss and delay, no medium.
+
+The DES backend (:class:`~repro.net.stack.NetworkStack`) simulates every
+carrier sense, backoff, collision and per-receiver delivery — faithful,
+but ~20 kernel events per frame in dense fields. This backend replaces
+the medium/MAC pair with *sampled closed-form distributions*:
+
+* **Delay.** One event per frame: MAC access jitter (uniform, matching
+  the DES desynchronization jitter) plus the frame's airtime. No carrier
+  sensing — under CSMA the channel is idle for the vast majority of
+  frames, so access delay is well modelled by the jitter alone.
+* **Loss.** Per receiver, an independent coin combining the radio's
+  ambient loss, its distance-dependent edge fading, and a *congestion*
+  term that stands in for collisions: denser neighborhoods lose more
+  frames, calibrated so dense-field loss rates match the DES (see
+  ``tests/analysis/test_des_fluid_coherence.py``). The congestion term
+  is gated on *contention*, tracked per radio-range-sized grid cell: a
+  frame pays congestion only if it overlaps, in time, another frame
+  keyed up in its sender's grid cell. Frames alone in the air — or
+  concurrent but spatially disjoint — cannot collide, so only
+  ambient/fading losses apply to them. The gate is what lets one
+  calibration serve both bursty phases (share exchange) and slotted,
+  nearly collision-free ones (witnessed reports) — without it, witness
+  overhears absorb phantom collision losses and the integrity layer
+  raises alarms the DES never sees.
+* **Fan-out.** Frames are delivered only where someone listens: the
+  addressed handler, plus overhear listeners registered for the frame's
+  kind (the ``kinds=`` hint on ``register_overhear`` that the DES
+  ignores). Uninterested receivers pay *energy* for the reception — the
+  radio still heard it — via a lazily-flushed per-sender ledger, without
+  paying a Python callback each.
+
+Determinism: a seeded run is exactly reproducible (all draws come from
+the kernel's named RNG streams), but the event schedule is *not*
+byte-identical to the DES backend — coherence with the DES is statistical
+and asserted by the analysis test suite at overlapping scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.metrics.counters import MessageCounters
+from repro.net.energy import EnergyModel
+from repro.net.packet import BROADCAST, Packet
+from repro.net.radio import RadioParams
+from repro.topology.graphs import neighbors_within_range
+
+#: Handler / listener signatures (mirror the transport seam).
+PacketHandler = Callable[[Packet], None]
+OverhearListener = Callable[[Packet], None]
+
+
+@dataclass(frozen=True)
+class FluidParams:
+    """Tuning knobs of the analytic channel model.
+
+    Attributes
+    ----------
+    access_jitter_s:
+        Upper bound of the uniform MAC-access delay sampled per frame
+        (mirrors :class:`~repro.net.mac.MacParams.initial_jitter_s`).
+    congestion_coeff / congestion_exponent:
+        Per-receiver collision-loss probability for *contended* frames
+        (another frame from the sender's radio-range grid cell was in
+        the air at transmit time), modelled as
+        ``coeff * degree(receiver) ** exponent``. CSMA keeps collision
+        growth sublinear in density; the power law is calibrated so the
+        per-reception collision rate of contended iCPDA traffic matches
+        the DES medium across the dense-field sweep (~2.2% of receptions
+        at degree 16 up to ~10.5% at degree 132). Frames that fly alone
+        skip the term entirely, matching the DES's near-lossless slotted
+        phases.
+    congestion_cap:
+        Ceiling on the congestion term (saturated fields).
+    """
+
+    access_jitter_s: float = 0.005
+    congestion_coeff: float = 0.00283
+    congestion_exponent: float = 0.74
+    congestion_cap: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.access_jitter_s < 0:
+            raise SimulationError("access_jitter_s must be >= 0")
+        if self.congestion_coeff < 0:
+            raise SimulationError("congestion_coeff must be >= 0")
+        if self.congestion_exponent < 0:
+            raise SimulationError("congestion_exponent must be >= 0")
+        if not 0.0 <= self.congestion_cap < 1.0:
+            raise SimulationError("congestion_cap must be in [0, 1)")
+
+
+@dataclass
+class FluidStats:
+    """Channel statistics, key-compatible with
+    :class:`~repro.net.medium.MediumStats` so dashboards and benchmarks
+    read either backend. Congestion losses land in ``collisions``;
+    ambient + fading losses in ``ambient_losses``; ``half_duplex_losses``
+    is always 0 (the model has no half-duplex effect)."""
+
+    transmissions: int = 0
+    deliveries: int = 0
+    collisions: int = 0
+    ambient_losses: int = 0
+    half_duplex_losses: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "transmissions": self.transmissions,
+            "deliveries": self.deliveries,
+            "collisions": self.collisions,
+            "ambient_losses": self.ambient_losses,
+            "half_duplex_losses": self.half_duplex_losses,
+        }
+
+    def reset(self) -> None:
+        self.transmissions = 0
+        self.deliveries = 0
+        self.collisions = 0
+        self.ambient_losses = 0
+        self.half_duplex_losses = 0
+
+
+class _StatsView:
+    """``stack.medium.stats`` compatibility shim: callers that read
+    channel statistics (benchmarks, the fading experiment) work unchanged
+    against the fluid backend."""
+
+    __slots__ = ("stats",)
+
+    def __init__(self, stats: FluidStats) -> None:
+        self.stats = stats
+
+
+class _LazyRxEnergy(EnergyModel):
+    """Energy ledger that defers receive-side charges.
+
+    The fluid backend skips per-receiver Python callbacks for frames
+    nobody parses, but the *radio* at every in-range node still spent
+    receive energy. Charging ~degree dict entries per frame would undo
+    the backend's speed advantage, so the transport accumulates pending
+    rx bytes per sender and this ledger flushes them (one pass over the
+    adjacency) before any read."""
+
+    def __init__(self, flush: Callable[[], None], **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self._flush = flush
+
+    def spent(self, node_id: int) -> float:
+        self._flush()
+        return super().spent(node_id)
+
+    def snapshot(self) -> dict:
+        self._flush()
+        return super().snapshot()
+
+    def report(self):
+        self._flush()
+        return super().report()
+
+    def reset(self) -> None:
+        self._flush()
+        super().reset()
+
+
+class FluidTransport:
+    """Closed-form network backend implementing the transport seam.
+
+    Parameters
+    ----------
+    sim:
+        Event kernel (shared with the protocol phases; the fluid model
+        schedules exactly one delivery event per frame).
+    deployment:
+        Geometric ground truth.
+    radio:
+        Physical-layer parameters; must match the deployment's range.
+    params:
+        Analytic-channel knobs (jitter, congestion calibration).
+    counters / energy:
+        Optional externally-owned accounting objects. A supplied
+        ``energy`` is used as-is (eager rx accounting is then the
+        caller's business); by default a lazily-flushed ledger is built.
+    """
+
+    def __init__(
+        self,
+        sim: Any,
+        deployment: Any,
+        *,
+        radio: Optional[RadioParams] = None,
+        params: Optional[FluidParams] = None,
+        counters: Optional[MessageCounters] = None,
+        energy: Optional[EnergyModel] = None,
+    ) -> None:
+        self.sim = sim
+        self.deployment = deployment
+        self.radio = radio if radio is not None else RadioParams(
+            range_m=deployment.radio_range
+        )
+        if abs(self.radio.range_m - deployment.radio_range) > 1e-9:
+            raise SimulationError(
+                "radio range disagrees with deployment radio_range: "
+                f"{self.radio.range_m} != {deployment.radio_range}"
+            )
+        self.params = params if params is not None else FluidParams()
+        self.counters = counters if counters is not None else MessageCounters()
+        self.energy = (
+            energy if energy is not None else _LazyRxEnergy(self._flush_rx_energy)
+        )
+        self.adjacency: Dict[int, Tuple[int, ...]] = {
+            node: tuple(neighbors)
+            for node, neighbors in neighbors_within_range(deployment).items()
+        }
+        self.stats = FluidStats()
+        self.medium = _StatsView(self.stats)
+
+        # Per-link (loss probability, congestion share) rows, lazily
+        # computed per sender (fixed geometry: computed once, cached),
+        # plus a receiver -> row-position map for O(1) unicast lookup.
+        self._loss_rows: Dict[int, Tuple[Tuple[float, float], ...]] = {}
+        self._row_index: Dict[int, Dict[int, int]] = {}
+        degrees = np.zeros(len(self.adjacency))
+        for node, neighbors in self.adjacency.items():
+            degrees[node] = len(neighbors)
+        self._congestion = np.minimum(
+            self.params.congestion_cap,
+            self.params.congestion_coeff
+            * degrees**self.params.congestion_exponent,
+        )
+        self._handlers: Dict[int, Dict[str, PacketHandler]] = {
+            node: {} for node in self.adjacency
+        }
+        #: kind -> receiver -> listeners (registered with a kinds= hint).
+        self._kind_overhear: Dict[str, Dict[int, List[OverhearListener]]] = {}
+        #: receiver -> wildcard listeners (registered without a hint).
+        self._wild_overhear: Dict[int, List[OverhearListener]] = {}
+        self._wild_count = 0
+        self._dead: Set[int] = set()
+        #: sender -> rx bytes its neighbors owe (flushed lazily).
+        self._pending_rx: Dict[int, int] = {}
+        # Coins are drawn from the named streams in deterministic batches
+        # (one numpy call per 4096 draws) — same sequence as drawing one
+        # at a time, without a Python-level Generator call per frame.
+        self._delay_rng = sim.rng.stream("fluid.delay")
+        self._loss_rng = sim.rng.stream("fluid.loss")
+        self._delay_coins: List[float] = []
+        self._loss_coins: List[float] = []
+        # Contention is tracked on a grid of radio-range-sized cells:
+        # ``_busy_until[cell]`` is the virtual time until which a frame
+        # sourced in that cell is still in the air. A frame keyed up
+        # before its own cell's busy instant overlaps a *nearby*
+        # transmission and is exposed to the congestion term; frames far
+        # apart in space (or alone in time) cannot collide, matching the
+        # DES's spatial collision locality (see the module docstring).
+        cell_size = self.radio.range_m
+        positions = deployment.positions
+        cell_of: Dict[int, Tuple[int, int]] = {
+            node: (
+                int(positions[node][0] // cell_size),
+                int(positions[node][1] // cell_size),
+            )
+            for node in self.adjacency
+        }
+        occupied = sorted(set(cell_of.values()))
+        cell_index = {cell: i for i, cell in enumerate(occupied)}
+        self._busy_until: List[float] = [-1.0] * len(occupied)
+        self._tx_cell: Dict[int, int] = {
+            node: cell_index[cell] for node, cell in cell_of.items()
+        }
+
+    # -- topology ---------------------------------------------------------------
+
+    def node_ids(self) -> Iterable[int]:
+        """All node ids in ascending order."""
+        return self._handlers.keys()
+
+    def neighbors(self, node_id: int) -> Tuple[int, ...]:
+        """Nodes within radio range of ``node_id`` (interned tuple)."""
+        return self.adjacency[node_id]
+
+    def degree(self, node_id: int) -> int:
+        """Number of radio neighbors of ``node_id``."""
+        return len(self.adjacency[node_id])
+
+    # -- sending ----------------------------------------------------------------
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        payload: Optional[Mapping[str, Any]] = None,
+        *,
+        size_bytes: Optional[int] = None,
+    ) -> Packet:
+        """Queue a unicast frame from ``src`` to ``dst``; returns the frame."""
+        packet = Packet(
+            src=src, dst=dst, kind=kind, payload=payload or {}, size_bytes=size_bytes
+        )
+        self._transmit(packet)
+        return packet
+
+    def broadcast(
+        self,
+        src: int,
+        kind: str,
+        payload: Optional[Mapping[str, Any]] = None,
+        *,
+        size_bytes: Optional[int] = None,
+    ) -> Packet:
+        """Queue a local-broadcast frame from ``src``; returns the frame."""
+        packet = Packet(
+            src=src,
+            dst=BROADCAST,
+            kind=kind,
+            payload=payload or {},
+            size_bytes=size_bytes,
+        )
+        self._transmit(packet)
+        return packet
+
+    def _transmit(self, packet: Packet) -> None:
+        src = packet.src
+        if src not in self.adjacency:
+            raise SimulationError(f"unknown source node {src}")
+        if src in self._dead:
+            # Same contract as the DES: a crashed radio keys up nothing
+            # and its non-transmission is not counted.
+            self.sim.trace.emit(
+                "fluid.dead_tx",
+                "dead node %(node)s asked to send %(kind)s",
+                node=src,
+                kind=packet.kind,
+            )
+            return
+        size = packet.size_bytes
+        self.counters.record_tx(src, packet.kind, size)
+        self.energy.account_tx(src, size)
+        self.stats.transmissions += 1
+        # Receive energy at every live in-range radio, deferred: the
+        # bytes are banked against the sender and flushed on read.
+        self._pending_rx[src] = self._pending_rx.get(src, 0) + size
+        coins = self._delay_coins
+        if not coins:
+            coins.extend(self._delay_rng.random(4096).tolist())
+            coins.reverse()
+        airtime = self.radio.airtime(packet)
+        # The frame occupies the air during [key-up, key-up + airtime];
+        # the access jitter is idle waiting *before* key-up and must not
+        # widen the contention window.
+        keyup = self.sim.now + coins.pop() * self.params.access_jitter_s
+        busy = self._busy_until
+        cell = self._tx_cell[src]
+        contended = keyup < busy[cell]
+        airtime_end = keyup + airtime
+        if airtime_end > busy[cell]:
+            busy[cell] = airtime_end
+        self.sim.schedule_callback(
+            airtime_end - self.sim.now, self._deliver, (packet, contended)
+        )
+
+    # -- delivery ---------------------------------------------------------------
+
+    def _loss_row(self, sender: int) -> Tuple[Tuple[float, float, float], ...]:
+        """Per-receiver ``(contended loss probability, congestion share,
+        uncontended loss probability)`` for ``sender``'s neighbors,
+        vectorized over the whole row. Contended frames pay congestion +
+        ambient + fading; frames alone in the air pay ambient + fading
+        only. The share partitions the single loss coin so statistics
+        attribute losses to congestion vs channel without a second RNG
+        draw."""
+        row = self._loss_rows.get(sender)
+        if row is not None:
+            return row
+        neighbors = self.adjacency[sender]
+        if not neighbors:
+            row = ()
+        else:
+            radio = self.radio
+            indices = np.asarray(neighbors, dtype=np.intp)
+            positions = self.deployment.positions
+            delta = positions[indices] - positions[sender]
+            distances = np.hypot(delta[:, 0], delta[:, 1])
+            congestion = self._congestion[indices]
+            fading = (
+                radio.edge_fading
+                * np.clip(distances / radio.range_m, 0.0, 1.0) ** 4
+            )
+            keep_channel = (1.0 - radio.ambient_loss) * (1.0 - fading)
+            keep = keep_channel * (1.0 - congestion)
+            channel = radio.ambient_loss + fading
+            denominator = congestion + channel
+            share = np.divide(
+                congestion,
+                denominator,
+                out=np.zeros_like(congestion),
+                where=denominator > 0.0,
+            )
+            row = tuple(
+                zip(
+                    (1.0 - keep).tolist(),
+                    share.tolist(),
+                    (1.0 - keep_channel).tolist(),
+                )
+            )
+        self._loss_rows[sender] = row
+        self._row_index[sender] = {
+            receiver: position for position, receiver in enumerate(neighbors)
+        }
+        return row
+
+    def _lost(self, entry: Tuple[float, float, float], contended: bool) -> bool:
+        """Sample one loss coin and attribute the loss cause."""
+        if contended:
+            probability, congestion_share = entry[0], entry[1]
+        else:
+            probability, congestion_share = entry[2], 0.0
+        if probability <= 0.0:
+            return False
+        coins = self._loss_coins
+        if not coins:
+            coins.extend(self._loss_rng.random(4096).tolist())
+            coins.reverse()
+        draw = coins.pop()
+        if draw >= probability:
+            return False
+        if draw < probability * congestion_share:
+            self.stats.collisions += 1
+        else:
+            self.stats.ambient_losses += 1
+        return True
+
+    def _deliver(self, packet: Packet, contended: bool) -> None:
+        src = packet.src
+        kind = packet.kind
+        dst = packet.dst
+        neighbors = self.adjacency[src]
+        loss_row = self._loss_row(src)
+        dead = self._dead
+        kind_listeners = self._kind_overhear.get(kind)
+        wild = self._wild_count > 0
+
+        if dst == BROADCAST:
+            record_rx = self.counters.record_rx
+            size = packet.size_bytes
+            for index, receiver in enumerate(neighbors):
+                if receiver in dead or self._lost(loss_row[index], contended):
+                    continue
+                self.stats.deliveries += 1
+                record_rx(receiver, kind, size)
+                if wild:
+                    for listener in self._wild_overhear.get(receiver, ()):
+                        listener(packet)
+                if kind_listeners is not None:
+                    for listener in kind_listeners.get(receiver, ()):
+                        listener(packet)
+                handler = self._handlers[receiver].get(kind)
+                if handler is not None:
+                    handler(packet)
+            return
+
+        # Unicast: the addressed receiver, plus any interested overhearers
+        # among the sender's other neighbors. Overhearers are visited
+        # only when someone actually registered for this kind (or a
+        # wildcard listener exists) — the fast path for ack/share/join
+        # traffic, which nobody overhears.
+        if wild or kind_listeners is not None:
+            for index, receiver in enumerate(neighbors):
+                if receiver == dst or receiver in dead:
+                    continue
+                overhearers = ()
+                if kind_listeners is not None:
+                    overhearers = kind_listeners.get(receiver, ())
+                wilds = self._wild_overhear.get(receiver, ()) if wild else ()
+                if not overhearers and not wilds:
+                    continue
+                if self._lost(loss_row[index], contended):
+                    continue
+                self.stats.deliveries += 1
+                for listener in wilds:
+                    listener(packet)
+                for listener in overhearers:
+                    listener(packet)
+
+        if dst in dead:
+            return
+        index = self._row_index[src].get(dst)
+        if index is None:
+            return  # destination out of range: the frame dies in the air
+        if self._lost(loss_row[index], contended):
+            return
+        self.stats.deliveries += 1
+        self.counters.record_rx(dst, kind, packet.size_bytes)
+        if wild:
+            for listener in self._wild_overhear.get(dst, ()):
+                listener(packet)
+        if kind_listeners is not None:
+            for listener in kind_listeners.get(dst, ()):
+                listener(packet)
+        handler = self._handlers[dst].get(kind)
+        if handler is not None:
+            handler(packet)
+
+    # -- receiving ----------------------------------------------------------------
+
+    def register_handler(self, node_id: int, kind: str, handler: PacketHandler) -> None:
+        """Route addressed ``kind`` frames at ``node_id`` to ``handler``."""
+        if not kind:
+            raise SimulationError("handler kind must be non-empty")
+        self._handlers[node_id][kind] = handler
+
+    def register_overhear(
+        self,
+        node_id: int,
+        listener: OverhearListener,
+        kinds: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Attach a promiscuous listener at ``node_id``.
+
+        With a ``kinds`` hint the listener is only offered frames of
+        those kinds (the backend exploits the hint to skip fan-out);
+        without one it sees every frame audible at the node, exactly
+        like the DES — at DES-like cost for the kinds involved.
+        """
+        if kinds is None:
+            self._wild_overhear.setdefault(node_id, []).append(listener)
+            self._wild_count += 1
+            return
+        for kind in kinds:
+            self._kind_overhear.setdefault(kind, {}).setdefault(
+                node_id, []
+            ).append(listener)
+
+    def clear_overhear(self, node_id: int) -> None:
+        """Remove every promiscuous listener at ``node_id``."""
+        wilds = self._wild_overhear.pop(node_id, None)
+        if wilds:
+            self._wild_count -= len(wilds)
+        for by_node in self._kind_overhear.values():
+            by_node.pop(node_id, None)
+
+    # -- lifecycle / accounting ----------------------------------------------------
+
+    def fail_node(self, node_id: int) -> None:
+        """Crash-stop a sensor (fail-silent), as in the DES backend."""
+        if node_id not in self.adjacency:
+            raise SimulationError(f"unknown node {node_id}")
+        # Settle the energy ledger first: rx bytes banked while the node
+        # was alive must still be charged to it.
+        self._flush_rx_energy()
+        self._dead.add(node_id)
+        if self.sim.trace.on:
+            self.sim.trace.emit("fluid.kill", "node %(node)s crashed", node=node_id)
+
+    def is_failed(self, node_id: int) -> bool:
+        """True if the node was crash-stopped."""
+        return node_id in self._dead
+
+    def _flush_rx_energy(self) -> None:
+        """Charge banked receive bytes to each sender's live neighbors.
+
+        Expected-value accounting: the DES charges rx energy only for
+        clean receptions, so each neighbor is charged ``bytes * (1 -
+        link loss probability)`` rather than the raw byte total."""
+        if not self._pending_rx:
+            return
+        account_rx = self.energy.account_rx
+        dead = self._dead
+        for sender, total_bytes in self._pending_rx.items():
+            row = self._loss_row(sender)
+            for index, receiver in enumerate(self.adjacency[sender]):
+                if receiver not in dead:
+                    account_rx(receiver, total_bytes * (1.0 - row[index][0]))
+        self._pending_rx.clear()
+
+    def reset_accounting(self) -> None:
+        """Zero every accounting namespace (new round, same network)."""
+        self._pending_rx.clear()
+        self.counters.reset()
+        self.energy.reset()
+        self.stats.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FluidTransport(nodes={self.deployment.num_nodes}, "
+            f"range={self.radio.range_m}m)"
+        )

@@ -71,6 +71,13 @@ class MacStats:
             "busy_senses": self.busy_senses,
         }
 
+    def reset(self) -> None:
+        """Zero all counters (new accounting period, same MAC)."""
+        self.enqueued = 0
+        self.sent = 0
+        self.dropped = 0
+        self.busy_senses = 0
+
 
 class CsmaMac:
     """Carrier-sense MAC instance for a single node.

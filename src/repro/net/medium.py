@@ -106,6 +106,14 @@ class MediumStats:
             "half_duplex_losses": self.half_duplex_losses,
         }
 
+    def reset(self) -> None:
+        """Zero all counters (new accounting period, same channel)."""
+        self.transmissions = 0
+        self.deliveries = 0
+        self.collisions = 0
+        self.ambient_losses = 0
+        self.half_duplex_losses = 0
+
 
 class WirelessMedium:
     """Shared broadcast channel over a fixed adjacency.

@@ -14,7 +14,7 @@ only to this facade:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.metrics.counters import MessageCounters
@@ -187,9 +187,30 @@ class NetworkStack:
         """Route addressed ``kind`` frames at ``node_id`` to ``handler``."""
         self.nodes[node_id].register_handler(kind, handler)
 
-    def register_overhear(self, node_id: int, listener: OverhearListener) -> None:
-        """Attach a promiscuous listener at ``node_id`` (sees all frames)."""
+    def register_overhear(
+        self,
+        node_id: int,
+        listener: OverhearListener,
+        kinds: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Attach a promiscuous listener at ``node_id`` (sees all frames).
+
+        ``kinds`` is a filter *hint* for backends that can exploit it;
+        the shared-medium DES ignores it — every audible frame reaches
+        the listener, exactly as a real promiscuous radio would — so
+        listeners must filter by ``packet.kind`` themselves.
+        """
+        del kinds  # hint only; the physical medium cannot pre-filter
         self.nodes[node_id].register_overhear(listener)
+
+    def clear_overhear(self, node_id: int) -> None:
+        """Remove every promiscuous listener at ``node_id``."""
+        self.nodes[node_id].clear_overhear()
+
+    def node_ids(self) -> Iterable[int]:
+        """All node ids in ascending order (the iteration order every
+        phase relies on for deterministic handler registration)."""
+        return self.nodes.keys()
 
     def neighbors(self, node_id: int) -> Tuple[int, ...]:
         """Nodes within radio range of ``node_id``, as an immutable tuple
@@ -213,9 +234,16 @@ class NetworkStack:
         return self.medium.is_dead(node_id)
 
     def reset_accounting(self) -> None:
-        """Zero byte and energy counters (new round, same network)."""
+        """Zero every accounting namespace this stack registers (new
+        round, same network): byte counters, the energy ledger, per-node
+        MAC statistics, and medium statistics. Resetting only a subset
+        would pair per-round byte counts with cumulative retry/backoff
+        numbers in multi-round experiments."""
         self.counters.reset()
         self.energy.reset()
+        for mac in self.macs.values():
+            mac.stats.reset()
+        self.medium.stats.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

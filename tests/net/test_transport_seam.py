@@ -1,0 +1,200 @@
+"""The transport seam: phases run on any Transport, backends stay behind it.
+
+Three layers of protection:
+
+1. **Loopback unit tests** — every protocol phase (tree flood, cluster
+   formation, share exchange, report/verdict) executes against the
+   in-memory :class:`~tests.net.loopback.LoopbackTransport` fake.
+2. **Import isolation** — a subprocess proves the phase modules plus the
+   fake load without ``repro.sim.kernel`` or ``repro.net.stack`` ever
+   entering ``sys.modules``.
+3. **Import contract** — a source scan asserts no phase module imports
+   the DES backend directly; only the seam (``repro.net.transport``) and
+   the protocol orchestrator may name it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import subprocess
+import sys
+
+import pytest
+
+from repro.aggregation.functions import FixedPointCodec, make_aggregate
+from repro.aggregation.tree import build_aggregation_tree
+from repro.core.clustering import ClusterFormation
+from repro.core.config import IcpdaConfig
+from repro.core.field import DEFAULT_FIELD
+from repro.core.integrity import ReportAndVerdictPhase
+from repro.core.intracluster import IntraClusterExchange
+from repro.crypto.keys import PairwiseKeyScheme
+from repro.crypto.linksec import LinkSecurity
+from repro.net.transport import Transport, create_transport
+from tests.net.loopback import FakeSim, LoopbackTransport, grid_topology, line_topology
+
+REPO_SRC = pathlib.Path(__file__).resolve().parents[2] / "src"
+
+
+# -- the fake satisfies the seam ------------------------------------------------
+
+
+def test_loopback_satisfies_transport_protocol():
+    fake = LoopbackTransport(line_topology(6))
+    assert isinstance(fake, Transport)
+
+
+def test_real_backends_satisfy_transport_protocol(small_deployment):
+    from repro.sim.kernel import Simulator
+
+    for kind in ("des", "fluid"):
+        stack = create_transport(kind, Simulator(seed=1), small_deployment)
+        assert isinstance(stack, Transport), kind
+
+
+def test_loopback_overhears_before_handler():
+    fake = LoopbackTransport(line_topology(4, reach=1))
+    order = []
+    fake.register_overhear(1, lambda p: order.append("overhear"), kinds=("ping",))
+    fake.register_handler(1, "ping", lambda p: order.append("handler"))
+    fake.send(0, 1, "ping", {"x": 1})
+    fake.sim.run()
+    assert order == ["overhear", "handler"]
+
+
+def test_loopback_dead_sender_is_silent():
+    fake = LoopbackTransport(line_topology(4, reach=1))
+    heard = []
+    fake.register_handler(1, "ping", heard.append)
+    fake.fail_node(0)
+    fake.send(0, 1, "ping")
+    fake.sim.run()
+    assert heard == []
+    assert fake.counters.total_messages == 0
+    assert fake.is_failed(0) and not fake.is_failed(1)
+
+
+# -- every phase runs against the fake ------------------------------------------
+
+
+def test_tree_flood_on_loopback_reaches_every_node():
+    fake = LoopbackTransport(grid_topology(5))
+    tree = build_aggregation_tree(fake)
+    assert set(tree.parents) == set(fake.node_ids())
+    assert tree.parents[0] is None and tree.depths[0] == 0
+    for node, parent in tree.parents.items():
+        if parent is not None:
+            assert node in fake.neighbors(parent)
+            assert tree.depths[node] == tree.depths[parent] + 1
+
+
+def test_cluster_formation_on_loopback_forms_bs_cluster():
+    fake = LoopbackTransport(grid_topology(5))
+    tree = build_aggregation_tree(fake)
+    clustering = ClusterFormation(fake, tree, IcpdaConfig(), round_id=0).run()
+    assert 0 in clustering.clusters  # the BS always self-elects
+    for head, cluster in clustering.clusters.items():
+        for member in cluster.members:
+            assert member == head or member in fake.neighbors(head)
+
+
+def test_full_round_on_loopback_accepts_and_sums():
+    """Phases II-IV chained on the fake: the paper pipeline end to end
+    with no simulator, no MAC, no medium."""
+    fake = LoopbackTransport(grid_topology(6))
+    cfg = IcpdaConfig()
+    tree = build_aggregation_tree(fake)
+    clustering = ClusterFormation(fake, tree, cfg, round_id=0).run()
+
+    readings = {i: 10.0 + (i % 7) for i in fake.node_ids() if i != 0}
+    aggregate = make_aggregate("sum", FixedPointCodec(scale=cfg.fixed_point_scale))
+    exchange = IntraClusterExchange(
+        fake,
+        clustering,
+        cfg,
+        LinkSecurity(PairwiseKeyScheme()),
+        aggregate,
+        readings,
+        DEFAULT_FIELD,
+        participating_heads=None,
+        round_id=0,
+    ).run()
+    assert exchange.completed_clusters
+
+    report = ReportAndVerdictPhase(
+        fake, tree, clustering, exchange, cfg, aggregate, round_id=0
+    )
+    true_value = aggregate.true_value(list(readings.values()))
+    result = report.run(true_value, total_sensors=len(readings))
+    assert result.verdict.accepted
+    # Lossless channel: whoever participated is summed exactly.
+    assert result.contributors > 0
+    assert result.value <= true_value + 1e-6
+    assert result.accuracy == pytest.approx(result.value / true_value, abs=1e-9)
+
+
+def test_loopback_rounds_are_deterministic():
+    def one_round(seed):
+        fake = LoopbackTransport(grid_topology(5), sim=FakeSim(seed=seed))
+        cfg = IcpdaConfig()
+        tree = build_aggregation_tree(fake)
+        clustering = ClusterFormation(fake, tree, cfg, round_id=0).run()
+        return (
+            tuple(sorted(clustering.clusters)),
+            fake.counters.total_bytes,
+            fake.delivered,
+        )
+
+    assert one_round(3) == one_round(3)
+    assert one_round(3) != one_round(4)
+
+
+# -- import isolation / import contract -----------------------------------------
+
+#: Modules that must be loadable (and runnable, per the tests above)
+#: without either concrete network backend.
+_PHASE_MODULES = (
+    "repro.aggregation.tree",
+    "repro.aggregation.tag",
+    "repro.aggregation.slicing",
+    "repro.core.clustering",
+    "repro.core.intracluster",
+    "repro.core.integrity",
+    "repro.net.transport",
+    "tests.net.loopback",
+)
+
+
+def test_phases_import_without_simulator_or_des_backend():
+    """Subprocess check: importing every phase module plus the loopback
+    fake must not drag in the event kernel or the DES stack."""
+    code = (
+        "import importlib, sys\n"
+        + "".join(f"importlib.import_module({mod!r})\n" for mod in _PHASE_MODULES)
+        + "forbidden = [m for m in ('repro.sim.kernel', 'repro.net.stack',"
+        " 'repro.net.mac', 'repro.net.medium') if m in sys.modules]\n"
+        "assert not forbidden, f'phases pulled in {forbidden}'\n"
+    )
+    repo_root = str(REPO_SRC.parent)
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        cwd=repo_root,
+        env={"PYTHONPATH": f"{REPO_SRC}:{repo_root}", "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_no_phase_module_imports_des_stack_directly():
+    """Source-level contract: inside ``core/`` and ``aggregation/`` the
+    DES backend may only be named via the seam's lazy factory."""
+    pattern = re.compile(r"^\s*(from|import)\s+repro\.net\.(stack|mac|medium)\b")
+    offenders = []
+    for package in ("core", "aggregation"):
+        for path in sorted((REPO_SRC / "repro" / package).glob("*.py")):
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                if pattern.match(line):
+                    offenders.append(f"{path.name}:{lineno}: {line.strip()}")
+    assert not offenders, "phase modules must import the seam, not the DES stack:\n" + "\n".join(offenders)
