@@ -125,8 +125,19 @@ def compare(
     ``baseline + min_slack``: the sub-10ms quick scenarios are dominated
     by constant scheduler noise, so a pure ratio would flap on them
     while an order-of-magnitude mistake still blows far past both bars.
+
+    The scenario *sets* must match exactly, in both directions: a
+    scenario in the baseline but not the fresh run means a timed path
+    silently stopped being exercised, and a scenario in the fresh run
+    but not the baseline means someone added one without refreshing
+    ``benchmarks/baselines/`` — so its perf is ungated. Either way the
+    gate fails instead of shrugging.
     """
     regressions = 0
+    for name in sorted(fresh.keys() - baseline.keys()):
+        print(f"FAIL {name}: present in fresh run but missing from baseline "
+              "(refresh benchmarks/baselines/BENCH_e2e_quick.json)")
+        regressions += 1
     for name, base_entry in sorted(baseline.items()):
         fresh_entry = fresh.get(name)
         if fresh_entry is None:

@@ -32,7 +32,7 @@ import pathlib
 import platform
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -52,7 +52,11 @@ class Scenario:
     (how many radios overhear each frame): sparse ~8, dense ~16-20.
     ``transport`` selects the network backend (see
     ``docs/TRANSPORT.md``); scenarios differing only in it form a
-    DES-vs-fluid comparison pair.
+    DES-vs-fluid comparison pair. ``share_backend`` selects the share
+    pipeline (``"scalar"`` or ``"batched"``, see ``docs/PERF.md``);
+    scenarios differing only in it form a scalar-vs-batched pair.
+    ``repeats`` overrides the global ``--repeats`` for scenarios too
+    expensive to time more than once (the N=20000 rounds).
     """
 
     protocol: str  # "tag" | "icpda" | "storm"
@@ -60,6 +64,8 @@ class Scenario:
     field_size: float
     seed: int
     transport: str = "des"
+    share_backend: str = "scalar"
+    repeats: Optional[int] = None
 
 
 def _scenarios(scale: str) -> Dict[str, Scenario]:
@@ -70,8 +76,18 @@ def _scenarios(scale: str) -> Dict[str, Scenario]:
             "tag_dense_small": Scenario("tag", 120, 250.0, 12),
             "icpda_dense_small": Scenario("icpda", 120, 250.0, 12),
             "icpda_dense_small_fluid": Scenario("icpda", 120, 250.0, 12, "fluid"),
+            "icpda_dense_small_batched": Scenario(
+                "icpda", 120, 250.0, 12, share_backend="batched"
+            ),
             "storm_dense_small": Scenario("storm", 120, 150.0, 14),
             "storm_dense_small_fluid": Scenario("storm", 120, 150.0, 14, "fluid"),
+            # The paper-scale 20k round, once: proves the grid neighbor
+            # engine + batched share algebra keep huge fields tractable
+            # in CI (O(N^2) anywhere and this times out instead).
+            "icpda_huge_fluid": Scenario(
+                "icpda", 20000, 3000.0, 15, "fluid",
+                share_backend="batched", repeats=1,
+            ),
         }
     return {
         "tag_sparse_small": Scenario("tag", 300, 540.0, 11),
@@ -80,7 +96,17 @@ def _scenarios(scale: str) -> Dict[str, Scenario]:
         "icpda_dense_small": Scenario("icpda", 400, 400.0, 12),
         "tag_dense_large": Scenario("tag", 2000, 950.0, 13),
         "icpda_dense_large": Scenario("icpda", 2000, 950.0, 13),
+        "icpda_dense_large_batched": Scenario(
+            "icpda", 2000, 950.0, 13, share_backend="batched"
+        ),
         "icpda_dense_large_fluid": Scenario("icpda", 2000, 950.0, 13, "fluid"),
+        "icpda_huge_fluid": Scenario(
+            "icpda", 20000, 3000.0, 15, "fluid", repeats=1
+        ),
+        "icpda_huge_fluid_batched": Scenario(
+            "icpda", 20000, 3000.0, 15, "fluid",
+            share_backend="batched", repeats=1,
+        ),
         "storm_dense_large": Scenario("storm", 2000, 250.0, 14),
         "storm_dense_large_fluid": Scenario("storm", 2000, 250.0, 14, "fluid"),
     }
@@ -116,7 +142,10 @@ def _run_icpda(scenario: Scenario, deployment) -> Tuple[float, dict]:
     )
     start = time.perf_counter()
     protocol = IcpdaProtocol(
-        deployment, IcpdaConfig(), seed=scenario.seed, transport=scenario.transport
+        deployment,
+        IcpdaConfig(share_backend=scenario.share_backend),
+        seed=scenario.seed,
+        transport=scenario.transport,
     )
     protocol.setup()
     result = protocol.run_round(readings)
@@ -215,6 +244,8 @@ def run_scenario(name: str, scenario: Scenario, repeats: int) -> dict:
     deployment = _build_deployment(scenario)
     degree = _mean_degree(deployment)
     runner = _RUNNERS[scenario.protocol]
+    if scenario.repeats is not None:
+        repeats = scenario.repeats
     best = float("inf")
     stats: dict = {}
     for _ in range(max(1, repeats)):
@@ -223,6 +254,7 @@ def run_scenario(name: str, scenario: Scenario, repeats: int) -> dict:
     entry = {
         "protocol": scenario.protocol,
         "transport": scenario.transport,
+        "share_backend": scenario.share_backend,
         "num_nodes": scenario.num_nodes,
         "field_size_m": scenario.field_size,
         "mean_degree": round(degree, 2),

@@ -72,6 +72,14 @@ class IcpdaConfig:
     # Intra-cluster exchange
     share_retries: int = 3
     ack_timeout_s: float = 0.35
+    #: "scalar": per-member pure-Python share algebra, byte-identical to
+    #: the historical (golden-traced) behaviour. "batched": all clusters'
+    #: share matrices, F-values, and Lagrange recoveries precomputed at
+    #: window start with vectorized Mersenne-61 numpy kernels (grouped by
+    #: cluster size). Aggregates are identical either way; the *event
+    #: schedule* is not byte-identical across modes because the mask
+    #: draws move to a dedicated RNG stream (see docs/PERF.md).
+    share_backend: str = "scalar"
 
     # Integrity
     #: "witnessed": the full peer-monitoring layer (itemized reports,
@@ -135,6 +143,11 @@ class IcpdaConfig:
             raise ConfigError(f"share_retries must be >= 0, got {self.share_retries}")
         if self.ack_timeout_s <= 0:
             raise ConfigError(f"ack_timeout_s must be positive, got {self.ack_timeout_s}")
+        if self.share_backend not in ("scalar", "batched"):
+            raise ConfigError(
+                f"share_backend must be 'scalar' or 'batched', "
+                f"got {self.share_backend!r}"
+            )
         if self.count_threshold < 0:
             raise ConfigError(
                 f"count_threshold must be >= 0, got {self.count_threshold}"

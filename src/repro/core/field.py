@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import FieldArithmeticError
 
 #: 2^61 - 1, a Mersenne prime: plenty of headroom for sums of ~1e6
@@ -297,3 +299,135 @@ class PrimeField:
 
 #: Shared default field instance used across the protocol stack.
 DEFAULT_FIELD = PrimeField(MERSENNE_61)
+
+
+# -- vectorized Mersenne-61 kernels ------------------------------------------
+#
+# numpy has no 128-bit integers, so ``(a * b) % q`` overflows uint64 for
+# field-sized operands. These kernels do the classic split multiply:
+# with ``a = a_hi * 2^32 + a_lo`` (a_hi < 2^29 since a < 2^61),
+#
+#     a * b = a_lo*b_lo + (a_hi*b_lo + a_lo*b_hi) * 2^32 + a_hi*b_hi * 2^64
+#
+# Every partial product fits uint64 exactly: a_lo*b_lo <= (2^32-1)^2 =
+# 2^64 - 2^33 + 1, the cross terms are < 2^61 each (sum < 2^62), and
+# a_hi*b_hi < 2^58. Because q = 2^61 - 1 is Mersenne, 2^61 ≡ 1 (mod q)
+# and therefore 2^64 ≡ 8 (mod q); splitting the cross sum ``hl`` at bit
+# 29 rewrites ``hl * 2^32`` as ``(hl >> 29) + (hl & (2^29-1)) << 32``
+# (mod q). The folded total stays < 2^63, so no uint64 wraparound occurs
+# anywhere — a property the brute-force test against :class:`PrimeField`
+# pins down on the extreme operands.
+
+_M61 = np.uint64(MERSENNE_61)
+_M61_LOW32 = np.uint64(0xFFFFFFFF)
+_M61_LOW29 = np.uint64((1 << 29) - 1)
+_SHIFT_61 = np.uint64(61)
+_SHIFT_32 = np.uint64(32)
+_SHIFT_29 = np.uint64(29)
+_SHIFT_3 = np.uint64(3)
+
+
+def m61_reduce(values: np.ndarray) -> np.ndarray:
+    """Reduce arbitrary uint64 values into canonical ``[0, 2^61 - 1)``.
+
+    One Mersenne fold (``v = (v >> 61) + (v & q)`` uses ``2^61 ≡ 1``)
+    brings any uint64 below ``q + 8``; a conditional subtract finishes.
+    """
+    v = np.asarray(values, dtype=np.uint64)
+    t = (v >> _SHIFT_61) + (v & _M61)
+    return np.where(t >= _M61, t - _M61, t)
+
+
+def m61_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise field addition of canonical operands (broadcasting)."""
+    s = np.asarray(a, dtype=np.uint64) + np.asarray(b, dtype=np.uint64)
+    t = (s >> _SHIFT_61) + (s & _M61)
+    return np.where(t >= _M61, t - _M61, t)
+
+
+def m61_sub(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise field subtraction of canonical operands (broadcasting)."""
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    # a - b + q never underflows for canonical operands and stays < 2^62.
+    s = a + (_M61 - b)
+    t = (s >> _SHIFT_61) + (s & _M61)
+    return np.where(t >= _M61, t - _M61, t)
+
+
+def m61_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise field product of canonical operands (broadcasting).
+
+    Operands must already be reduced (``< 2^61 - 1``); the split-multiply
+    bounds above only hold for canonical inputs.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    a_hi = a >> _SHIFT_32
+    a_lo = a & _M61_LOW32
+    b_hi = b >> _SHIFT_32
+    b_lo = b & _M61_LOW32
+    ll = a_lo * b_lo
+    hl = a_hi * b_lo + a_lo * b_hi
+    hh = a_hi * b_hi
+    t = (
+        (ll >> _SHIFT_61)
+        + (ll & _M61)
+        + (hl >> _SHIFT_29)
+        + ((hl & _M61_LOW29) << _SHIFT_32)
+        + (hh << _SHIFT_3)
+    )
+    t = (t >> _SHIFT_61) + (t & _M61)
+    return np.where(t >= _M61, t - _M61, t)
+
+
+def m61_pow(base: np.ndarray, exponent: int) -> np.ndarray:
+    """Elementwise ``base ** exponent`` in the field (exponent >= 0).
+
+    The exponent is a Python int shared by all elements — binary
+    exponentiation costs ~2 vectorized multiplies per bit, which is how
+    :func:`m61_inv` reaches Fermat inverses (exponent ``q - 2``) in ~120
+    kernel calls regardless of array size.
+    """
+    if exponent < 0:
+        raise FieldArithmeticError(
+            f"negative exponent {exponent}; use m61_inv() first"
+        )
+    base = m61_reduce(np.asarray(base, dtype=np.uint64))
+    result = np.ones_like(base)
+    while exponent:
+        if exponent & 1:
+            result = m61_mul(result, base)
+        base = m61_mul(base, base)
+        exponent >>= 1
+    return result
+
+
+def m61_inv(values: np.ndarray) -> np.ndarray:
+    """Elementwise Fermat inverse ``v ** (q - 2)`` of canonical operands.
+
+    Raises
+    ------
+    FieldArithmeticError
+        If any element is ``≡ 0``.
+    """
+    v = m61_reduce(np.asarray(values, dtype=np.uint64))
+    if np.any(v == 0):
+        raise FieldArithmeticError("zero has no multiplicative inverse")
+    return m61_pow(v, MERSENNE_61 - 2)
+
+
+def m61_sum(values: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Field sum of canonical operands along ``axis``.
+
+    Summing more than ``2^3`` field elements can overflow uint64, so the
+    accumulator is folded after every addend (each step stays < 2^62).
+    """
+    v = np.asarray(values, dtype=np.uint64)
+    v = np.moveaxis(v, axis, 0)
+    total = np.zeros(v.shape[1:], dtype=np.uint64)
+    for row in v:
+        s = total + row
+        t = (s >> _SHIFT_61) + (s & _M61)
+        total = np.where(t >= _M61, t - _M61, t)
+    return total

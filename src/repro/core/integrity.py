@@ -218,6 +218,14 @@ class ReportAndVerdictPhase:
 
         # cluster id -> (suspect, witness) -> expectation.
         self._expectations: Dict[int, Dict[Tuple[int, int], _Expectation]] = {}
+        # (suspect, witness) -> number of UNRESOLVED expectations across
+        # all clusters. The own-head-report path in
+        # _resolve_expectations scans every cluster slot per overheard
+        # report; this counter lets it return immediately in the common
+        # case (nothing armed for this suspect/witness pair), without
+        # perturbing the scan order — and hence the alarm/RNG order —
+        # when work does exist.
+        self._unresolved: Dict[Tuple[int, int], int] = {}
         self._processed_reports: Dict[int, Set[int]] = {
             n: set() for n in stack.node_ids()
         }
@@ -500,6 +508,7 @@ class ReportAndVerdictPhase:
                         # A third party acknowledged this cluster's report:
                         # it moved past the suspect. Resolve silently.
                         expectation.resolved = True
+                        self._unresolved[(suspect, witness_id)] -= 1
                 return
             if packet.kind != REPORT_KIND:
                 return
@@ -524,6 +533,8 @@ class ReportAndVerdictPhase:
                     slot[key] = _Expectation(
                         sender=packet.src, totals=totals, contributors=contributors
                     )
+                    unresolved = self._unresolved
+                    unresolved[key] = unresolved.get(key, 0) + 1
 
         return witness
 
@@ -560,6 +571,11 @@ class ReportAndVerdictPhase:
         if cluster == actor:
             # Actor's own head report: every armed (actor, c) expectation
             # this witness holds must appear unaltered in its child list.
+            # The unresolved counter skips both the cluster scan and the
+            # child-list parse when this witness watches nothing for this
+            # actor — the common case for every overheard head report.
+            if not self._unresolved.get((actor, witness)):
+                return
             listed = {
                 int(c[0]): tuple(int(v) for v in c[1]) for c in payload["children"]
             }
@@ -571,6 +587,7 @@ class ReportAndVerdictPhase:
                 if seen is None:
                     continue  # maybe dropped: the watchdog deadline decides
                 expectation.resolved = True
+                self._unresolved[(actor, witness)] -= 1
                 if seen != expectation.totals:
                     self._raise_alarm(
                         witness,
@@ -589,6 +606,7 @@ class ReportAndVerdictPhase:
         expectation = slot.get((actor, witness))
         if expectation is not None and not expectation.resolved:
             expectation.resolved = True
+            self._unresolved[(actor, witness)] -= 1
             if totals != expectation.totals:
                 self._raise_alarm(
                     witness,
@@ -607,6 +625,7 @@ class ReportAndVerdictPhase:
             if other.resolved or actor == suspect or actor == other.sender:
                 continue
             other.resolved = True
+            self._unresolved[(suspect, witness_id)] -= 1
 
     def _fire_watchdogs(self) -> None:
         for cluster, slot in self._expectations.items():
@@ -614,6 +633,7 @@ class ReportAndVerdictPhase:
                 if expectation.resolved or not expectation.acked:
                     continue
                 expectation.resolved = True
+                self._unresolved[(suspect, witness)] -= 1
                 self._raise_alarm(
                     witness,
                     suspect,

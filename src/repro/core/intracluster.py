@@ -26,12 +26,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.aggregation.functions import AdditiveAggregate
 from repro.core.clustering import ClusteringResult
 from repro.core.config import IcpdaConfig
 from repro.core.field import PrimeField
 from repro.core.shares import (
     ShareBundle,
+    batched_cluster_shares,
     generate_share_bundles,
     recover_cluster_sums,
     seed_for_node,
@@ -163,8 +166,16 @@ class IntraClusterExchange:
         self._readings = readings
         self._field = field_
         self._participating = participating_heads
+        self._round_id = round_id
         self._rng = stack.sim.rng.stream(f"exchange.{round_id}")
         self.result = ExchangeResult()
+
+        # Batched backend: the whole share pipeline precomputed at window
+        # start (see _precompute_batched). Empty in scalar mode.
+        self._batched = config.share_backend == "batched"
+        self._batched_bundles: Dict[int, Dict[int, ShareBundle]] = {}
+        self._batched_fvalues: Dict[int, Tuple[int, ...]] = {}
+        self._batched_sums: Dict[int, Tuple[int, ...]] = {}
 
         # Per-node exchange bookkeeping.
         self._cluster_of: Dict[int, int] = {}
@@ -189,6 +200,10 @@ class IntraClusterExchange:
         cfg = self._config
         t0 = sim.now
 
+        # Pass 1: per-cluster participant lists plus a global claim count,
+        # so membership conflicts are resolved symmetrically below.
+        candidates: List[Tuple[int, List[int]]] = []
+        claims: Dict[int, int] = {}
         for cluster in self._clustering.clusters.values():
             if not cluster.active:
                 continue
@@ -197,7 +212,8 @@ class IntraClusterExchange:
             participants = sorted(cluster.informed_members)
             if len(participants) < cfg.k_min or len(participants) < cluster.size:
                 # Someone missed the member list: the share matrix cannot
-                # complete, so the cluster aborts up front.
+                # complete, so the cluster aborts up front. (Clusters
+                # aborted here hold no claim on their members.)
                 self.result.states[cluster.head] = ClusterExchangeState(
                     head=cluster.head,
                     participants=participants,
@@ -205,32 +221,43 @@ class IntraClusterExchange:
                     aborted_reason="member_list_loss",
                 )
                 continue
-            if any(m in self._cluster_of for m in participants):
-                # Defense in depth: a member claimed by two clusters
-                # would cross-contaminate both share matrices. The
-                # formation layer prevents this; if it ever leaks
-                # through, abort rather than corrupt.
-                self.result.states[cluster.head] = ClusterExchangeState(
-                    head=cluster.head,
+            candidates.append((cluster.head, participants))
+            for member in participants:
+                claims[member] = claims.get(member, 0) + 1
+
+        # Pass 2: defense in depth — a member claimed by two clusters
+        # would cross-contaminate both share matrices. The formation
+        # layer prevents this; if it ever leaks through, *every* cluster
+        # holding a contested member aborts (symmetric and independent of
+        # cluster iteration order), rather than the first-iterated one
+        # silently proceeding with the contested member.
+        contested = {member for member, count in claims.items() if count > 1}
+        for head, participants in candidates:
+            if contested and any(m in contested for m in participants):
+                self.result.states[head] = ClusterExchangeState(
+                    head=head,
                     participants=participants,
                     contributors=0,
                     aborted_reason="membership_conflict",
                 )
                 continue
             contributors = sum(1 for m in participants if m in self._readings)
-            self.result.states[cluster.head] = ClusterExchangeState(
-                head=cluster.head,
+            self.result.states[head] = ClusterExchangeState(
+                head=head,
                 participants=participants,
                 contributors=contributors,
             )
             seeds = {m: seed_for_node(m) for m in participants}
-            self._seeds_of[cluster.head] = seeds
-            self._expected_seeds[cluster.head] = frozenset(seeds.values())
+            self._seeds_of[head] = seeds
+            self._expected_seeds[head] = frozenset(seeds.values())
             for member in participants:
-                self._cluster_of[member] = cluster.head
+                self._cluster_of[member] = head
                 self._expected_origins[member] = set(participants)
                 self._held_bundles[member] = {}
                 self._witness_fvalues[member] = {}
+
+        if self._batched:
+            self._precompute_batched()
 
         for node in self._stack.node_ids():
             self._stack.register_handler(node, SHARE_KIND, self._make_on_share(node))
@@ -262,20 +289,94 @@ class IntraClusterExchange:
         self._compile()
         return self.result
 
+    # -- batched precompute -------------------------------------------------------
+
+    def _precompute_batched(self) -> None:
+        """Run the whole share pipeline for every non-aborted cluster in
+        vectorized batches (one per cluster size) before the window opens.
+
+        Masks are drawn from a dedicated ``exchange.batched.*`` stream so
+        the delay/jitter draws on the main exchange stream keep their
+        sequence; within each size bucket clusters keep ``run()``'s
+        iteration order, which makes a seeded batched run reproducible
+        (same seeds -> same shares -> same aggregates). The precomputed
+        values are what the event-driven exchange then *transmits*; the
+        per-packet algebra (generation, F-assembly, Lagrange recovery)
+        collapses to dictionary lookups.
+        """
+        groups: Dict[int, List[ClusterExchangeState]] = {}
+        order: List[int] = []
+        for state in self.result.states.values():
+            if state.aborted_reason:
+                continue
+            m = len(state.participants)
+            if m not in groups:
+                order.append(m)
+                groups[m] = []
+            groups[m].append(state)
+        if not groups:
+            return
+        rng = self._stack.sim.rng.stream(f"exchange.batched.{self._round_id}")
+        arity = self._aggregate.arity
+        identity = self._aggregate.identity()
+        for m in order:
+            states = groups[m]
+            member_ids = np.array(
+                [state.participants for state in states], dtype=np.int64
+            )
+            components = np.empty((len(states), m, arity), dtype=np.int64)
+            for c, state in enumerate(states):
+                for i, member in enumerate(state.participants):
+                    reading = self._readings.get(member)
+                    components[c, i] = (
+                        self._aggregate.components(reading)
+                        if reading is not None
+                        else identity
+                    )
+            batch = batched_cluster_shares(
+                self._field, member_ids, components, rng
+            )
+            shares = batch.shares.tolist()
+            fvalues = batch.fvalues.tolist()
+            sums = batch.sums.tolist()
+            seeds = batch.seeds.tolist()
+            for c, state in enumerate(states):
+                participants = state.participants
+                cluster_seeds = seeds[c]
+                cluster_shares = shares[c]
+                cluster_fvalues = fvalues[c]
+                for i, member in enumerate(participants):
+                    rows = cluster_shares[i]  # (arity, m)
+                    self._batched_bundles[member] = {
+                        recipient: ShareBundle(
+                            member,
+                            cluster_seeds[j],
+                            tuple(rows[a][j] for a in range(arity)),
+                        )
+                        for j, recipient in enumerate(participants)
+                    }
+                    self._batched_fvalues[member] = tuple(
+                        cluster_fvalues[a][i] for a in range(arity)
+                    )
+                self._batched_sums[state.head] = tuple(sums[c])
+
     # -- sending shares -----------------------------------------------------------
 
     def _make_share_sender(self, member: int, state: ClusterExchangeState):
         def send_shares() -> None:
-            seeds = self._seeds_of[state.head]
-            reading = self._readings.get(member)
-            components = (
-                self._aggregate.components(reading)
-                if reading is not None
-                else self._aggregate.identity()
-            )
-            bundles = generate_share_bundles(
-                self._field, member, components, seeds, self._rng
-            )
+            if self._batched:
+                bundles = self._batched_bundles[member]
+            else:
+                seeds = self._seeds_of[state.head]
+                reading = self._readings.get(member)
+                components = (
+                    self._aggregate.components(reading)
+                    if reading is not None
+                    else self._aggregate.identity()
+                )
+                bundles = generate_share_bundles(
+                    self._field, member, components, seeds, self._rng
+                )
             self._accept_bundle(member, bundles[member])
             for recipient, bundle in bundles.items():
                 if recipient == member:
@@ -397,8 +498,14 @@ class IntraClusterExchange:
             return
         self._fvalue_sent.add(node)
         head = self._cluster_of[node]
-        bundles = list(self._held_bundles[node].values())
-        fvalue = sum_share_values(self._field, bundles)
+        if self._batched:
+            # Precomputed F(x_node): equal to summing the held bundles —
+            # share values are generated (never mutated) by this object,
+            # so the received copies are the precomputed ones.
+            fvalue = self._batched_fvalues[node]
+        else:
+            bundles = list(self._held_bundles[node].values())
+            fvalue = sum_share_values(self._field, bundles)
         self._witness_fvalues[node][seed_for_node(node)] = fvalue
         self._maybe_recover_witness(node)
         self._publish_fvalue(node, head, fvalue, 0)
@@ -468,8 +575,10 @@ class IntraClusterExchange:
         state.fvalues_at_head[seed] = fvalue
         expected = self._expected_seeds[head]
         if frozenset(state.fvalues_at_head) == expected and not state.completed:
-            state.cluster_sums = recover_cluster_sums(
-                self._field, state.fvalues_at_head
+            state.cluster_sums = (
+                self._batched_sums[head]
+                if self._batched
+                else recover_cluster_sums(self._field, state.fvalues_at_head)
             )
             state.completed = True
             self._stack.sim.trace.emit(
@@ -556,8 +665,12 @@ class IntraClusterExchange:
         expected = self._expected_seeds[head]
         known = self._witness_fvalues[node]
         if known.keys() >= expected:
-            sums = recover_cluster_sums(
-                self._field, {s: known[s] for s in expected}
+            sums = (
+                self._batched_sums[head]
+                if self._batched
+                else recover_cluster_sums(
+                    self._field, {s: known[s] for s in expected}
+                )
             )
             self.result.witness_sums[node] = sums
 

@@ -19,7 +19,15 @@ from typing import Dict, List, Mapping, NamedTuple, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.field import MERSENNE_61, PrimeField
+from repro.core.field import (
+    MERSENNE_61,
+    PrimeField,
+    m61_add,
+    m61_inv,
+    m61_mul,
+    m61_sub,
+    m61_sum,
+)
 from repro.errors import FieldArithmeticError, ShareAlgebraError
 
 
@@ -249,3 +257,252 @@ def recover_cluster_sums(
         points = [(seed, values[k]) for seed, values in assembled.items()]
         sums.append(field.decode_signed(field.lagrange_constant_term(points)))
     return tuple(sums)
+
+
+# -- batched cross-cluster share algebra --------------------------------------
+#
+# The scalar path above runs one ``m``-member cluster at a time in pure
+# Python; at 20k nodes that is thousands of per-member polynomial loops.
+# The batched path stacks *every same-size cluster* into padded-dense
+# arrays — seeds ``(C, m)``, components ``(C, m, A)`` — and runs the
+# whole pipeline (mask draw, polynomial evaluation, F-assembly, Lagrange
+# recovery) as a fixed number of vectorized Mersenne-61 kernel calls.
+# Ragged cluster sets are handled by grouping: the caller buckets
+# clusters by ``m`` and makes one call per bucket.
+#
+# Determinism contract: fed the same ``rng``, the batched mask draw
+# ``integers(0, q, size=(C, m, A, m-1))`` consumes the bit stream element
+# by element in row-major order — exactly the concatenation of the
+# per-member ``(A, m-1)`` draws the scalar loop makes — so batched and
+# scalar produce *identical* shares, F-values, and sums for the same
+# stream state (asserted by tests/core/test_shares_batched.py).
+
+
+class BatchedClusterShares(NamedTuple):
+    """Whole-pipeline products for one batch of same-size clusters.
+
+    Attributes
+    ----------
+    seeds:
+        ``(C, m)`` uint64 — canonical member seeds per cluster.
+    shares:
+        ``(C, m, A, m)`` uint64 — ``shares[c, i, a, j]`` is member ``i``'s
+        polynomial for component ``a`` evaluated at member ``j``'s seed.
+    fvalues:
+        ``(C, A, m)`` uint64 — assembled ``F(x_j) = Σ_i f_i(x_j)``.
+    weights:
+        ``(C, m)`` uint64 — constant-term Lagrange weights per cluster.
+    sums:
+        ``(C, A)`` int64 — signed (decoded) cluster component sums.
+    """
+
+    seeds: np.ndarray
+    shares: np.ndarray
+    fvalues: np.ndarray
+    weights: np.ndarray
+    sums: np.ndarray
+
+
+def _require_m61(field: PrimeField) -> None:
+    if field.q != MERSENNE_61:
+        raise ShareAlgebraError(
+            f"batched share algebra requires GF(2^61-1), got GF({field.q})"
+        )
+
+
+def _validated_seed_matrix(field: PrimeField, seeds: np.ndarray) -> np.ndarray:
+    """Reduce a ``(C, m)`` seed matrix and apply the scalar-path checks:
+    at least two members, per-cluster distinctness mod q, no zero seed."""
+    seeds = np.asarray(seeds)
+    if seeds.ndim != 2:
+        raise ShareAlgebraError(f"seed matrix must be (C, m), got {seeds.shape}")
+    if seeds.shape[1] < 2:
+        raise ShareAlgebraError(
+            f"share generation needs >= 2 members, got {seeds.shape[1]}"
+        )
+    seeds = seeds.astype(np.uint64)
+    seeds = np.where(seeds >= _Q_U64, seeds % _Q_U64, seeds)
+    if np.any(seeds == 0):
+        raise ShareAlgebraError("seed congruent to 0 is forbidden")
+    ordered = np.sort(seeds, axis=1)
+    if np.any(ordered[:, 1:] == ordered[:, :-1]):
+        raise ShareAlgebraError(f"duplicate seeds (mod {field.q}) in member map")
+    return seeds
+
+
+_Q_U64 = np.uint64(MERSENNE_61)
+
+
+def batched_seed_powers(field: PrimeField, seeds: np.ndarray) -> np.ndarray:
+    """Per-seed mask power bases ``x, x^2, ..., x^(m-1)``: ``(C, m, m-1)``.
+
+    The batched analogue of :func:`_seed_power_bases`.
+    """
+    seeds = _validated_seed_matrix(field, seeds)
+    clusters, m = seeds.shape
+    degree = m - 1
+    powers = np.empty((clusters, m, degree), dtype=np.uint64)
+    acc = seeds.copy()
+    for k in range(degree):
+        powers[:, :, k] = acc
+        if k + 1 < degree:
+            acc = m61_mul(acc, seeds)
+    return powers
+
+
+def batched_generate_shares(
+    field: PrimeField,
+    seeds: np.ndarray,
+    components: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Generate every member's shares for a batch of ``m``-clusters.
+
+    Parameters
+    ----------
+    seeds:
+        ``(C, m)`` public member seeds.
+    components:
+        ``(C, m, A)`` signed additive inputs (centered-lift encoded on
+        the way in, same range contract as :meth:`PrimeField.encode_signed`).
+    rng:
+        Mask stream; consumed identically to ``C*m`` scalar
+        :func:`generate_share_bundles` calls in row-major cluster order.
+
+    Returns
+    -------
+    ndarray
+        ``(C, m, A, m)`` uint64 share tensor (see
+        :class:`BatchedClusterShares`).
+    """
+    _require_m61(field)
+    seeds = _validated_seed_matrix(field, seeds)
+    components = np.asarray(components, dtype=np.int64)
+    clusters, m = seeds.shape
+    if components.ndim != 3 or components.shape[:2] != (clusters, m):
+        raise ShareAlgebraError(
+            f"components must be (C, m, A) = ({clusters}, {m}, A), "
+            f"got {components.shape}"
+        )
+    arity = components.shape[2]
+    degree = m - 1
+    half = field.q // 2
+    if np.any(np.abs(components) >= half):
+        offender = components[np.abs(components) >= half].flat[0]
+        raise FieldArithmeticError(
+            f"value {int(offender)} outside centered range of GF({field.q})"
+        )
+    constants = np.where(
+        components < 0, components + np.int64(field.q), components
+    ).astype(np.uint64)
+
+    # int64 draw dtype: byte-for-byte the stream consumption of the
+    # scalar path's default-dtype integers() calls.
+    masks = rng.integers(
+        0, field.q, size=(clusters, m, arity, degree), dtype=np.int64
+    ).astype(np.uint64)
+    powers = batched_seed_powers(field, seeds)
+
+    # shares[c, i, a, j] = constants[c, i, a] + Σ_k masks[c,i,a,k] x_j^(k+1)
+    shares = np.broadcast_to(
+        constants[:, :, :, None], (clusters, m, arity, m)
+    ).copy()
+    for k in range(degree):
+        term = m61_mul(
+            masks[:, :, :, k][:, :, :, None],
+            powers[:, :, k][:, None, None, :],
+        )
+        shares = m61_add(shares, term)
+    return shares
+
+
+def batched_assemble_fvalues(field: PrimeField, shares: np.ndarray) -> np.ndarray:
+    """Assemble ``F(x_j) = Σ_i f_i(x_j)`` for every cluster: ``(C, A, m)``."""
+    _require_m61(field)
+    shares = np.asarray(shares, dtype=np.uint64)
+    if shares.ndim != 4:
+        raise ShareAlgebraError(
+            f"share tensor must be (C, m, A, m), got {shares.shape}"
+        )
+    return m61_sum(shares, axis=1)
+
+
+def batched_lagrange_weights(field: PrimeField, seeds: np.ndarray) -> np.ndarray:
+    """Constant-term Lagrange weights for every cluster: ``(C, m)``.
+
+    ``w[c, j] = Π_{k≠j} x_k / (x_k - x_j)`` — the batched analogue of
+    :meth:`PrimeField.lagrange_weights`, solved with one Fermat inverse
+    over the whole denominator matrix.
+    """
+    _require_m61(field)
+    seeds = _validated_seed_matrix(field, seeds)
+    clusters, m = seeds.shape
+    numerators = np.ones((clusters, m), dtype=np.uint64)
+    denominators = np.ones((clusters, m), dtype=np.uint64)
+    for k in range(m):
+        xk = seeds[:, k]
+        diff = m61_sub(xk[:, None], seeds)
+        diff[:, k] = np.uint64(1)  # j == k contributes nothing
+        denominators = m61_mul(denominators, diff)
+        factor = np.broadcast_to(xk[:, None], (clusters, m)).copy()
+        factor[:, k] = np.uint64(1)
+        numerators = m61_mul(numerators, factor)
+    return m61_mul(numerators, m61_inv(denominators))
+
+
+def batched_recover_sums(
+    field: PrimeField, fvalues: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """Signed cluster component sums from assembled F-values: ``(C, A)``.
+
+    Interpolation at zero is the weighted dot product over the seed axis,
+    followed by the centered-lift decode.
+    """
+    _require_m61(field)
+    fvalues = np.asarray(fvalues, dtype=np.uint64)
+    weights = np.asarray(weights, dtype=np.uint64)
+    if fvalues.ndim != 3 or weights.ndim != 2 or (
+        fvalues.shape[0] != weights.shape[0]
+        or fvalues.shape[2] != weights.shape[1]
+    ):
+        raise ShareAlgebraError(
+            f"shape mismatch: fvalues {fvalues.shape} vs weights {weights.shape}"
+        )
+    raw = m61_sum(m61_mul(fvalues, weights[:, None, :]), axis=-1)
+    signed = raw.astype(np.int64)
+    half = np.int64(field.q // 2)
+    return np.where(signed > half, signed - np.int64(field.q), signed)
+
+
+def batched_cluster_shares(
+    field: PrimeField,
+    member_ids: np.ndarray,
+    components: np.ndarray,
+    rng: np.random.Generator,
+) -> BatchedClusterShares:
+    """Run the whole pipeline for one batch of same-size clusters.
+
+    ``member_ids`` is ``(C, m)`` node ids; seeds are derived exactly as
+    :func:`seed_for_node` does (``node_id + 1``, same rejection rules).
+    """
+    member_ids = np.asarray(member_ids, dtype=np.int64)
+    if member_ids.ndim != 2:
+        raise ShareAlgebraError(
+            f"member id matrix must be (C, m), got {member_ids.shape}"
+        )
+    if np.any(member_ids < 0):
+        offender = member_ids[member_ids < 0].flat[0]
+        raise ShareAlgebraError(f"node ids must be >= 0, got {int(offender)}")
+    if np.any(member_ids + 1 >= field.q):
+        offender = member_ids[member_ids + 1 >= field.q].flat[0]
+        raise ShareAlgebraError(
+            f"node id {int(offender)} wraps past the field modulus {field.q}"
+        )
+    seeds = (member_ids + 1).astype(np.uint64)
+    shares = batched_generate_shares(field, seeds, components, rng)
+    fvalues = batched_assemble_fvalues(field, shares)
+    weights = batched_lagrange_weights(field, seeds)
+    sums = batched_recover_sums(field, fvalues, weights)
+    return BatchedClusterShares(
+        seeds=seeds, shares=shares, fvalues=fvalues, weights=weights, sums=sums
+    )

@@ -27,8 +27,10 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core.config import IcpdaConfig
 from repro.experiments.engine import (
     ExperimentSpec,
     collect_rows,
@@ -191,6 +193,17 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--share-backend",
+        choices=("scalar", "batched"),
+        default="scalar",
+        help=(
+            "share pipeline for every cell (default: scalar). 'batched' "
+            "switches the vectorized cross-cluster share algebra on "
+            "(identical aggregates, see docs/PERF.md); like --transport "
+            "it enters each cell's cache key via the spec context."
+        ),
+    )
+    parser.add_argument(
         "--cache-dir",
         type=pathlib.Path,
         default=None,
@@ -265,6 +278,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         # and therefore in every cell's cache key.
         if args.transport != "des":
             spec.context["transport"] = args.transport
+        # Same cache-key discipline as --transport: "scalar" is the
+        # implicit default, so only the non-default choice lands in the
+        # context. Config objects in the context are rewritten in place
+        # — that is how every experiment that takes its IcpdaConfig
+        # from the spec context picks the backend up.
+        if args.share_backend != "scalar":
+            spec.context["share_backend"] = args.share_backend
+            for key, value in spec.context.items():
+                if isinstance(value, IcpdaConfig):
+                    spec.context[key] = replace(
+                        value, share_backend=args.share_backend
+                    )
         report = execute(
             spec,
             jobs=args.jobs,

@@ -60,6 +60,7 @@ from repro.net.energy import EnergyModel
 from repro.net.packet import BROADCAST, Packet
 from repro.net.radio import RadioParams
 from repro.topology.graphs import neighbors_within_range
+from repro.topology.spatial import compact_cell_ids
 
 #: Handler / listener signatures (mirror the transport seam).
 PacketHandler = Callable[[Packet], None]
@@ -269,20 +270,12 @@ class FluidTransport:
         # transmission and is exposed to the congestion term; frames far
         # apart in space (or alone in time) cannot collide, matching the
         # DES's spatial collision locality (see the module docstring).
-        cell_size = self.radio.range_m
-        positions = deployment.positions
-        cell_of: Dict[int, Tuple[int, int]] = {
-            node: (
-                int(positions[node][0] // cell_size),
-                int(positions[node][1] // cell_size),
-            )
-            for node in self.adjacency
-        }
-        occupied = sorted(set(cell_of.values()))
-        cell_index = {cell: i for i, cell in enumerate(occupied)}
-        self._busy_until: List[float] = [-1.0] * len(occupied)
+        cell_ids, num_cells = compact_cell_ids(
+            deployment.positions, self.radio.range_m
+        )
+        self._busy_until: List[float] = [-1.0] * num_cells
         self._tx_cell: Dict[int, int] = {
-            node: cell_index[cell] for node, cell in cell_of.items()
+            node: int(cell) for node, cell in enumerate(cell_ids)
         }
 
     # -- topology ---------------------------------------------------------------

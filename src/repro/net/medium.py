@@ -154,6 +154,12 @@ class WirelessMedium:
         self._distances = distances
         #: sender -> (receiver -> meters), lazily filled; geometry is fixed.
         self._distance_cache: Dict[int, Dict[int, float]] = {}
+        #: sender -> (receiver -> seconds): the propagation delays the
+        #: delivery sweep needs, precomputed from the distance row with
+        #: the exact same ``d / c`` division the per-delivery call made
+        #: (so scheduled times stay bit-identical) — a dict probe per
+        #: delivery instead of a method call and a float division.
+        self._delay_cache: Dict[int, Dict[int, float]] = {}
         self._receivers: Dict[int, ReceiveCallback] = {}
         #: node -> number of in-flight transmissions audible there. The
         #: O(1) replacement for a per-node set of transmission objects.
@@ -310,8 +316,7 @@ class WirelessMedium:
                     stats.deliveries += 1
                     callback(packet)
             else:
-                dist_row = self._distance_row(sender, receivers)
-                propagation_delay = self._radio.propagation_delay
+                delay_row = self._delay_row(sender, receivers)
                 schedule_callback = self._sim.schedule_callback
                 packet_args = (packet,)
                 for receiver in receivers:
@@ -323,7 +328,7 @@ class WirelessMedium:
                     if callback is None or receiver in dead:
                         continue
                     stats.deliveries += 1
-                    delay = propagation_delay(dist_row[receiver])
+                    delay = delay_row[receiver]
                     if delay > 0:
                         schedule_callback(delay, callback, packet_args)
                     else:
@@ -343,6 +348,21 @@ class WirelessMedium:
             distances = self._distances
             row = {receiver: distances(sender, receiver) for receiver in receivers}
             self._distance_cache[sender] = row
+        return row
+
+    def _delay_row(
+        self, sender: int, receivers: Tuple[int, ...]
+    ) -> Dict[int, float]:
+        """Cached ``receiver -> propagation seconds`` for ``sender``."""
+        row = self._delay_cache.get(sender)
+        if row is None:
+            propagation_delay = self._radio.propagation_delay
+            dist_row = self._distance_row(sender, receivers)
+            row = {
+                receiver: propagation_delay(dist_row[receiver])
+                for receiver in receivers
+            }
+            self._delay_cache[sender] = row
         return row
 
     def _finish_reception(self, tx: _Transmission, receiver: int) -> None:
@@ -403,9 +423,7 @@ class WirelessMedium:
         self.stats.deliveries += 1
         delay = 0.0
         if self._distances is not None:
-            delay = radio.propagation_delay(
-                self._distance_row(tx.sender, self._adjacency[tx.sender])[receiver]
-            )
+            delay = self._delay_row(tx.sender, self._adjacency[tx.sender])[receiver]
         if delay > 0:
             self._sim.schedule_callback(delay, callback, (tx.packet,))
         else:

@@ -14,7 +14,7 @@ upstream report by listening promiscuously.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import SimulationError
 from repro.net.packet import BROADCAST, Packet
@@ -44,7 +44,14 @@ class Node:
     ) -> None:
         self.node_id = node_id
         self._handlers: Dict[str, PacketHandler] = {}
-        self._overhear: List[OverhearListener] = []
+        # Kind-scoped listeners (registered with a kinds= hint) are the
+        # common case — witnesses listen for report traffic, exchange
+        # members for F-values — and filtering by kind *here* skips a
+        # Python call per non-matching audible frame, which in dense
+        # fields is most of them. Listeners registered without a hint
+        # stay fully promiscuous.
+        self._kind_overhear: Dict[str, List[OverhearListener]] = {}
+        self._wild_overhear: List[OverhearListener] = []
         self._on_unhandled = on_unhandled
         self.received = 0
         self.overheard = 0
@@ -63,20 +70,41 @@ class Node:
         """Remove the handler for ``kind`` if present."""
         self._handlers.pop(kind, None)
 
-    def register_overhear(self, listener: OverhearListener) -> None:
-        """Add a promiscuous listener that sees every audible frame."""
-        self._overhear.append(listener)
+    def register_overhear(
+        self,
+        listener: OverhearListener,
+        kinds: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Add a promiscuous listener.
+
+        With ``kinds`` the listener is invoked only for frames of those
+        kinds (the radio still hears everything — this is dispatch-time
+        filtering of listeners that would ignore the frame anyway).
+        Without ``kinds`` the listener sees every audible frame.
+        """
+        if kinds is None:
+            self._wild_overhear.append(listener)
+        else:
+            for kind in kinds:
+                self._kind_overhear.setdefault(kind, []).append(listener)
 
     def clear_overhear(self) -> None:
         """Remove all promiscuous listeners."""
-        self._overhear.clear()
+        self._kind_overhear.clear()
+        self._wild_overhear.clear()
 
     def deliver(self, packet: Packet) -> None:
         """Entry point called by the medium for each clean frame."""
-        if self._overhear:
-            # Snapshot only when listeners exist: most nodes have none,
-            # and a fresh list per delivery is pure allocation churn.
-            for listener in tuple(self._overhear):
+        if self._kind_overhear:
+            listeners = self._kind_overhear.get(packet.kind)
+            if listeners:
+                # Snapshot only when listeners exist: most frames match
+                # none, and a fresh list per delivery is allocation churn.
+                for listener in tuple(listeners):
+                    self.overheard += 1
+                    listener(packet)
+        if self._wild_overhear:
+            for listener in tuple(self._wild_overhear):
                 self.overheard += 1
                 listener(packet)
         dst = packet.dst

@@ -64,8 +64,22 @@ def payload_size(value: Any) -> int:
     Unknown object types must expose a ``wire_size()`` method; otherwise a
     :class:`TypeError` is raised so silent mis-accounting cannot happen.
     """
-    if type(value) is dict:
+    # Exact-type fast paths first: nearly every payload value is a plain
+    # dict, int, tuple/list, float, or str, and exact checks skip both
+    # the MRO walk of isinstance and — for containers — the expensive
+    # Mapping ABC test. Subclasses (bool included: type(True) is bool,
+    # not int) fall through to the original chain with identical results.
+    kind = type(value)
+    if kind is dict:
         return _dict_payload_size(value)
+    if kind is int:
+        return 4 if -2147483648 <= value < 2147483648 else 8
+    if kind is tuple or kind is list:
+        return sum(payload_size(v) for v in value)
+    if kind is float:
+        return 4
+    if kind is str:
+        return len(value.encode("utf-8"))
     if value is None:
         return 0
     if isinstance(value, bool):

@@ -110,18 +110,53 @@ class NetworkStack:
         return totals
 
     def _make_delivery(self, node: Node) -> Callable[[Packet], None]:
-        # Bind the hot references once per node: this closure runs for
-        # every clean reception in the network (O(N * degree) per round).
+        # The fused per-node receive path: energy accounting, overhear
+        # dispatch, and handler dispatch in ONE closure — this runs for
+        # every clean reception in the network (O(N * degree) per round),
+        # so each avoided call frame matters. The bound containers are
+        # mutated in place by Node registration and EnergyModel.reset()
+        # (.clear(), never rebind), so the bindings stay live.
         node_id = node.node_id
-        account_rx = self.energy.account_rx
+        energy = self.energy
+        if type(energy) is EnergyModel:
+            spent = energy._spent
+            rx_j_per_byte = energy.rx_j_per_byte
+            account_rx = None
+        else:  # externally-supplied accounting object: keep the seam
+            spent = {}
+            rx_j_per_byte = 0.0
+            account_rx = energy.account_rx
         record_rx = self.counters.record_rx
-        node_deliver = node.deliver
+        kind_overhear = node._kind_overhear
+        wild_overhear = node._wild_overhear
+        handlers = node._handlers
+        spent_get = spent.get
 
         def deliver(packet: Packet) -> None:
-            account_rx(node_id, packet.size_bytes)
-            if packet.dst == BROADCAST or packet.dst == node_id:
-                record_rx(node_id, packet.kind, packet.size_bytes)
-            node_deliver(packet)
+            size = packet.size_bytes
+            if account_rx is None:
+                spent[node_id] = spent_get(node_id, 0.0) + rx_j_per_byte * size
+            else:
+                account_rx(node_id, size)
+            kind = packet.kind
+            if kind_overhear:
+                listeners = kind_overhear.get(kind)
+                if listeners:
+                    for listener in tuple(listeners):
+                        node.overheard += 1
+                        listener(packet)
+            if wild_overhear:
+                for listener in tuple(wild_overhear):
+                    node.overheard += 1
+                    listener(packet)
+            dst = packet.dst
+            if dst != BROADCAST and dst != node_id:
+                return
+            record_rx(node_id, kind, size)
+            node.received += 1
+            handler = handlers.get(kind)
+            if handler is not None:
+                handler(packet)
 
         return deliver
 
@@ -195,13 +230,15 @@ class NetworkStack:
     ) -> None:
         """Attach a promiscuous listener at ``node_id`` (sees all frames).
 
-        ``kinds`` is a filter *hint* for backends that can exploit it;
-        the shared-medium DES ignores it — every audible frame reaches
-        the listener, exactly as a real promiscuous radio would — so
-        listeners must filter by ``packet.kind`` themselves.
+        ``kinds`` is a filter *hint*: the radio still hears every frame
+        (the physical medium cannot pre-filter), but listener *dispatch*
+        honors the hint, skipping listeners that would ignore the frame
+        anyway. Listeners registered without ``kinds`` — or listening
+        for multiple kinds — must still filter by ``packet.kind``
+        themselves; the hint never changes what a listener can observe,
+        only spares the no-op calls.
         """
-        del kinds  # hint only; the physical medium cannot pre-filter
-        self.nodes[node_id].register_overhear(listener)
+        self.nodes[node_id].register_overhear(listener, kinds)
 
     def clear_overhear(self, node_id: int) -> None:
         """Remove every promiscuous listener at ``node_id``."""

@@ -141,7 +141,10 @@ class Simulator:
         ScheduleInPastError
             If ``delay`` is negative (NaN is also rejected).
         """
-        if math.isnan(delay) or delay < 0:
+        # `not (delay >= 0)` is one comparison that rejects both negative
+        # delays and NaN (any comparison with NaN is False) — no isnan
+        # call on the hot path.
+        if not delay >= 0:
             raise ScheduleInPastError(f"cannot schedule with delay {delay!r}")
         # Inlined push (rather than delegating to schedule_at): this is
         # the kernel's hottest entry point — one call frame matters.
@@ -177,7 +180,7 @@ class Simulator:
         ScheduleInPastError
             If ``delay`` is negative (NaN is also rejected).
         """
-        if math.isnan(delay) or delay < 0:
+        if not delay >= 0:  # single NaN-safe comparison, as in schedule()
             raise ScheduleInPastError(f"cannot schedule with delay {delay!r}")
         heapq.heappush(
             self._heap,

@@ -21,9 +21,19 @@ from repro.topology.graphs import (
     largest_component,
     neighbors_within_range,
 )
+from repro.topology.spatial import (
+    adjacency_from_pairs,
+    compact_cell_ids,
+    neighbor_pairs,
+    pair_lengths,
+)
 from repro.topology.stats import DensityStats, degree_sequence, density_table
 
 __all__ = [
+    "adjacency_from_pairs",
+    "compact_cell_ids",
+    "neighbor_pairs",
+    "pair_lengths",
     "Deployment",
     "uniform_deployment",
     "grid_deployment",

@@ -12,42 +12,43 @@ from typing import Dict, List, Optional, Set
 
 import networkx as nx
 import numpy as np
-from scipy.spatial import cKDTree
 
 from repro.errors import DisconnectedNetworkError
 from repro.topology.deploy import Deployment
+from repro.topology.spatial import (
+    adjacency_from_pairs,
+    neighbor_pairs,
+    pair_lengths,
+)
 
 
 def neighbors_within_range(deployment: Deployment) -> Dict[int, List[int]]:
-    """Adjacency lists of the unit-disk graph, computed with a KD-tree.
+    """Adjacency lists of the unit-disk graph, via the grid-bucketed
+    spatial index (:mod:`repro.topology.spatial`).
 
     Returns a dict mapping each node id to the sorted list of node ids
     within radio range (excluding itself).
     """
-    tree = cKDTree(deployment.positions)
-    pairs = tree.query_pairs(r=deployment.radio_range, output_type="ndarray")
-    adjacency: Dict[int, List[int]] = {i: [] for i in range(deployment.num_nodes)}
-    for a, b in pairs:
-        adjacency[int(a)].append(int(b))
-        adjacency[int(b)].append(int(a))
-    for node in adjacency:
-        adjacency[node].sort()
-    return adjacency
+    pairs = neighbor_pairs(deployment.positions, deployment.radio_range)
+    return adjacency_from_pairs(pairs, deployment.num_nodes)
 
 
 def connectivity_graph(deployment: Deployment) -> nx.Graph:
     """The unit-disk graph as a :class:`networkx.Graph`.
 
-    Nodes carry a ``pos`` attribute; edges carry their Euclidean ``length``.
+    Nodes carry a ``pos`` attribute; edges carry their Euclidean
+    ``length``. Edge discovery and the length column are both computed
+    as whole-array operations — no per-pair distance calls.
     """
     graph = nx.Graph()
     for node in range(deployment.num_nodes):
         graph.add_node(node, pos=deployment.position(node))
-    adjacency = neighbors_within_range(deployment)
-    for node, neighbors in adjacency.items():
-        for other in neighbors:
-            if node < other:
-                graph.add_edge(node, other, length=deployment.distance(node, other))
+    pairs = neighbor_pairs(deployment.positions, deployment.radio_range)
+    lengths = pair_lengths(deployment.positions, pairs)
+    graph.add_edges_from(
+        (int(a), int(b), {"length": float(length)})
+        for (a, b), length in zip(pairs, lengths)
+    )
     return graph
 
 

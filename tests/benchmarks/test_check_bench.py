@@ -1,0 +1,83 @@
+"""Unit tests for the CI benchmark gate's scenario comparison.
+
+``benchmarks/`` is a script directory, not an installed package, so the
+module under test is loaded straight from its file path. The focus is
+the ``compare`` gate: the scenario sets must match in *both* directions
+— a scenario missing from the fresh run (timed path silently dropped)
+and a scenario missing from the baseline (new scenario whose perf is
+ungated) must both fail, not just the first.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+_CHECK_BENCH = (
+    pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "check_bench.py"
+)
+
+
+@pytest.fixture(scope="module")
+def check_bench():
+    spec = importlib.util.spec_from_file_location("_check_bench", _CHECK_BENCH)
+    module = importlib.util.module_from_spec(spec)
+    # Registered so dataclass/typing introspection inside the module
+    # (if any) can resolve it; removed afterwards to keep sys.modules
+    # clean for other tests.
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        yield module
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def _entry(seconds):
+    return {"best_seconds": seconds}
+
+
+class TestCompareSymmetry:
+    def test_identical_sets_pass(self, check_bench, capsys):
+        scenarios = {"a": _entry(0.1), "b": _entry(0.2)}
+        assert check_bench.compare(scenarios, scenarios, 2.0, 0.05) == 0
+
+    def test_scenario_missing_from_fresh_fails(self, check_bench, capsys):
+        baseline = {"a": _entry(0.1), "b": _entry(0.2)}
+        fresh = {"a": _entry(0.1)}
+        assert check_bench.compare(baseline, fresh, 2.0, 0.05) == 1
+        assert "missing from fresh run" in capsys.readouterr().out
+
+    def test_scenario_missing_from_baseline_fails(self, check_bench, capsys):
+        """The gate hole: before the fix, a scenario added to the quick
+        set without a baseline entry was silently un-gated."""
+        baseline = {"a": _entry(0.1)}
+        fresh = {"a": _entry(0.1), "new_scenario": _entry(9.9)}
+        assert check_bench.compare(baseline, fresh, 2.0, 0.05) == 1
+        assert "missing from baseline" in capsys.readouterr().out
+
+    def test_disjoint_sets_fail_per_scenario(self, check_bench, capsys):
+        baseline = {"a": _entry(0.1), "b": _entry(0.2)}
+        fresh = {"c": _entry(0.1), "d": _entry(0.2)}
+        assert check_bench.compare(baseline, fresh, 2.0, 0.05) == 4
+
+
+class TestCompareThresholds:
+    def test_regression_needs_ratio_and_slack(self, check_bench, capsys):
+        # 10x slower but still under the absolute slack: noise, not a
+        # regression (sub-10ms scenarios flap on pure ratios).
+        baseline = {"a": _entry(0.004)}
+        fresh = {"a": _entry(0.040)}
+        assert check_bench.compare(baseline, fresh, 2.0, 0.05) == 0
+
+    def test_real_regression_fails(self, check_bench, capsys):
+        baseline = {"a": _entry(0.5)}
+        fresh = {"a": _entry(1.6)}
+        assert check_bench.compare(baseline, fresh, 2.0, 0.05) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_faster_is_fine(self, check_bench, capsys):
+        baseline = {"a": _entry(1.0)}
+        fresh = {"a": _entry(0.2)}
+        assert check_bench.compare(baseline, fresh, 2.0, 0.05) == 0

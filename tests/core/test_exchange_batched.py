@@ -1,0 +1,190 @@
+"""Protocol-level contracts of the batched share backend.
+
+Three layers:
+
+1. **Exact equality on a lossless transport** — on the loopback fake
+   every cluster completes, and cluster aggregates are mask-independent,
+   so scalar and batched modes must produce *identical* exchange results
+   (states, sums, witness sums), even though their mask streams differ.
+2. **Seeded reproducibility** — a batched run is a pure function of
+   (seed, config, deployment): running it twice gives the same
+   aggregates. This is the batched determinism contract documented in
+   docs/PERF.md (byte-identity of the *event schedule* is only promised
+   by the scalar backend).
+3. **Membership-conflict symmetry** — the regression for the
+   asymmetric-abort bug: a member claimed by two clusters aborts *both*
+   clusters, on either backend, while disjoint clusters proceed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregation.functions import FixedPointCodec, make_aggregate
+from repro.aggregation.tree import build_aggregation_tree
+from repro.core.clustering import Cluster, ClusterFormation, ClusteringResult
+from repro.core.config import IcpdaConfig
+from repro.core.field import DEFAULT_FIELD
+from repro.core.intracluster import IntraClusterExchange
+from repro.crypto.keys import PairwiseKeyScheme
+from repro.crypto.linksec import LinkSecurity
+from repro.errors import ConfigError
+from tests.net.loopback import FakeSim, LoopbackTransport, grid_topology
+
+
+def _run_exchange(cfg: IcpdaConfig, seed: int = 5):
+    """One formation + exchange over a lossless 6x6 grid."""
+    fake = LoopbackTransport(grid_topology(6), sim=FakeSim(seed=seed))
+    tree = build_aggregation_tree(fake)
+    clustering = ClusterFormation(fake, tree, cfg, round_id=0).run()
+    readings = {i: 10.0 + (i % 7) for i in fake.node_ids() if i != 0}
+    aggregate = make_aggregate(
+        cfg.aggregate_name, FixedPointCodec(scale=cfg.fixed_point_scale)
+    )
+    exchange = IntraClusterExchange(
+        fake,
+        clustering,
+        cfg,
+        LinkSecurity(PairwiseKeyScheme()),
+        aggregate,
+        readings,
+        DEFAULT_FIELD,
+        round_id=0,
+    ).run()
+    return exchange
+
+
+def _summary(exchange):
+    return (
+        exchange.completed_clusters,
+        {
+            head: state.cluster_sums
+            for head, state in exchange.states.items()
+        },
+        dict(exchange.witness_sums),
+        exchange.total_contributors(),
+    )
+
+
+class TestScalarBatchedEquality:
+    def test_lossless_transport_identical_results(self) -> None:
+        scalar = _run_exchange(IcpdaConfig(share_backend="scalar"))
+        batched = _run_exchange(IcpdaConfig(share_backend="batched"))
+        assert scalar.completed_clusters  # the comparison is non-vacuous
+        assert _summary(scalar) == _summary(batched)
+
+    @pytest.mark.parametrize("aggregate_name", ["average", "variance"])
+    def test_multi_component_aggregates(self, aggregate_name: str) -> None:
+        scalar = _run_exchange(
+            IcpdaConfig(share_backend="scalar", aggregate_name=aggregate_name)
+        )
+        batched = _run_exchange(
+            IcpdaConfig(share_backend="batched", aggregate_name=aggregate_name)
+        )
+        assert scalar.completed_clusters
+        assert _summary(scalar) == _summary(batched)
+
+
+class TestBatchedDeterminism:
+    def test_same_seed_same_aggregates(self) -> None:
+        cfg = IcpdaConfig(share_backend="batched")
+        assert _summary(_run_exchange(cfg, seed=9)) == _summary(
+            _run_exchange(cfg, seed=9)
+        )
+
+    def test_different_seed_different_schedule(self) -> None:
+        cfg = IcpdaConfig(share_backend="batched")
+        a = _run_exchange(cfg, seed=9)
+        b = _run_exchange(cfg, seed=10)
+        # Clustering differs with the seed, so so does the outcome shape.
+        assert _summary(a) != _summary(b)
+
+    def test_rejects_unknown_backend(self) -> None:
+        with pytest.raises(ConfigError, match="share_backend"):
+            IcpdaConfig(share_backend="gpu")
+
+
+def _forged_conflict_clustering():
+    """Three hand-built clusters on a 6x6 grid (ids row-major): two
+    share a contested member, the third is disjoint."""
+    clusters = {
+        1: Cluster(head=1, members=[1, 2, 3]),
+        7: Cluster(head=7, members=[7, 8, 3]),  # 3 contested
+        28: Cluster(head=28, members=[28, 27, 29]),
+    }
+    for cluster in clusters.values():
+        cluster.informed_members = set(cluster.members)
+    membership = {}
+    for head, cluster in clusters.items():
+        for member in cluster.members:
+            membership[member] = head
+    return ClusteringResult(
+        clusters=clusters,
+        membership=membership,
+        census_at_bs={h: (c.size, True) for h, c in clusters.items()},
+    )
+
+
+class TestMembershipConflictRegression:
+    @pytest.mark.parametrize("backend", ["scalar", "batched"])
+    def test_both_claiming_clusters_abort(self, backend: str) -> None:
+        cfg = IcpdaConfig(share_backend=backend)
+        fake = LoopbackTransport(grid_topology(6), sim=FakeSim(seed=2))
+        readings = {i: 1.0 for i in fake.node_ids() if i != 0}
+        aggregate = make_aggregate(
+            cfg.aggregate_name, FixedPointCodec(scale=cfg.fixed_point_scale)
+        )
+        exchange = IntraClusterExchange(
+            fake,
+            _forged_conflict_clustering(),
+            cfg,
+            LinkSecurity(PairwiseKeyScheme()),
+            aggregate,
+            readings,
+            DEFAULT_FIELD,
+            round_id=0,
+        ).run()
+
+        # Symmetric resolution: *both* clusters claiming node 3 abort...
+        for head in (1, 7):
+            state = exchange.states[head]
+            assert state.aborted_reason == "membership_conflict"
+            assert not state.completed
+            assert state.contributors == 0
+        # ...while the disjoint cluster is unaffected and sums exactly.
+        clean = exchange.states[28]
+        assert clean.completed
+        assert clean.cluster_sums == (300,)  # 3 members x 1.0 x scale 100
+
+    def test_conflict_abort_is_iteration_order_independent(self) -> None:
+        """Reversing cluster registration order must not change who
+        aborts (the original bug let the first-registered cluster keep
+        the contested member)."""
+
+        def run_with(clustering) -> dict:
+            fake = LoopbackTransport(grid_topology(6), sim=FakeSim(seed=2))
+            cfg = IcpdaConfig()
+            readings = {i: 1.0 for i in fake.node_ids() if i != 0}
+            aggregate = make_aggregate(
+                cfg.aggregate_name,
+                FixedPointCodec(scale=cfg.fixed_point_scale),
+            )
+            exchange = IntraClusterExchange(
+                fake,
+                clustering,
+                cfg,
+                LinkSecurity(PairwiseKeyScheme()),
+                aggregate,
+                readings,
+                DEFAULT_FIELD,
+                round_id=0,
+            ).run()
+            return {
+                head: state.aborted_reason
+                for head, state in exchange.states.items()
+            }
+
+        forward = _forged_conflict_clustering()
+        reversed_ = _forged_conflict_clustering()
+        reversed_.clusters = dict(reversed(list(reversed_.clusters.items())))
+        assert run_with(forward) == run_with(reversed_)

@@ -1,0 +1,245 @@
+"""Scalar-vs-batched share pipeline equivalence.
+
+The batched path must be *exactly* equal to the scalar one — same mask
+stream consumption, same shares, same F-values, same signed sums — on
+randomized ragged cluster sets grouped by size, including the edge
+cases the protocol hits: minimum-size (k_min boundary) clusters, m=1
+rejection, and clusters whose scalar twin aborts mid-way (the batched
+precompute must not disturb the stream for the clusters that follow).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.field import MERSENNE_61, PrimeField
+from repro.core.shares import (
+    batched_assemble_fvalues,
+    batched_cluster_shares,
+    batched_generate_shares,
+    batched_lagrange_weights,
+    batched_recover_sums,
+    generate_share_bundles,
+    recover_cluster_sums,
+    seed_for_node,
+    sum_share_values,
+)
+from repro.errors import FieldArithmeticError, ShareAlgebraError
+
+FIELD = PrimeField(MERSENNE_61)
+
+
+def _scalar_pipeline(member_ids, components, rng):
+    """Run the scalar path for one cluster; returns (shares, fvalues, sums).
+
+    ``shares[i][j]`` is member i's bundle values at member j's seed.
+    """
+    seeds = {m: seed_for_node(m) for m in member_ids}
+    all_bundles = []
+    for i, member in enumerate(member_ids):
+        bundles = generate_share_bundles(
+            FIELD, member, [int(c) for c in components[i]], seeds, rng
+        )
+        all_bundles.append(bundles)
+    assembled = {}
+    for j, member in enumerate(member_ids):
+        at_j = [all_bundles[i][member] for i in range(len(member_ids))]
+        assembled[seeds[member]] = sum_share_values(FIELD, at_j)
+    sums = recover_cluster_sums(FIELD, assembled)
+    return all_bundles, assembled, sums
+
+
+def _random_clusters(rng, count, size, arity):
+    """Disjoint random member-id clusters and signed components."""
+    ids = rng.choice(200_000, size=count * size, replace=False).reshape(
+        count, size
+    )
+    components = rng.integers(-(10**9), 10**9, size=(count, size, arity))
+    return ids.astype(np.int64), components.astype(np.int64)
+
+
+class TestExactEquivalence:
+    @pytest.mark.parametrize("m", [2, 3, 4, 6, 9])
+    @pytest.mark.parametrize("arity", [1, 3])
+    def test_batched_equals_scalar(self, m: int, arity: int) -> None:
+        setup = np.random.default_rng((1234, m, arity))
+        member_ids, components = _random_clusters(setup, 5, m, arity)
+
+        scalar_rng = np.random.default_rng(99)
+        batched_rng = np.random.default_rng(99)
+
+        batch = batched_cluster_shares(FIELD, member_ids, components, batched_rng)
+
+        for c in range(member_ids.shape[0]):
+            ids = [int(v) for v in member_ids[c]]
+            bundles, assembled, sums = _scalar_pipeline(
+                ids, components[c], scalar_rng
+            )
+            assert tuple(int(v) for v in batch.sums[c]) == sums
+            for i, origin in enumerate(ids):
+                for j, member in enumerate(ids):
+                    assert (
+                        tuple(int(v) for v in batch.shares[c, i, :, j])
+                        == bundles[i][member].values
+                    )
+            for j, member in enumerate(ids):
+                seed = seed_for_node(member)
+                assert (
+                    tuple(int(v) for v in batch.fvalues[c, :, j])
+                    == assembled[seed]
+                )
+
+    def test_ragged_grouping_preserves_stream(self) -> None:
+        """Mixed sizes processed group-by-group equal the scalar sequence
+        run in the same grouped order."""
+        setup = np.random.default_rng(777)
+        groups = []
+        for size, count in ((3, 4), (5, 2), (2, 3)):
+            groups.append(_random_clusters(setup, count, size, 1))
+
+        scalar_rng = np.random.default_rng(4242)
+        batched_rng = np.random.default_rng(4242)
+
+        batched_sums = []
+        for member_ids, components in groups:
+            batch = batched_cluster_shares(
+                FIELD, member_ids, components, batched_rng
+            )
+            batched_sums.extend(
+                tuple(int(v) for v in row) for row in batch.sums
+            )
+
+        scalar_sums = []
+        for member_ids, components in groups:
+            for c in range(member_ids.shape[0]):
+                ids = [int(v) for v in member_ids[c]]
+                _, _, sums = _scalar_pipeline(ids, components[c], scalar_rng)
+                scalar_sums.append(sums)
+
+        assert batched_sums == scalar_sums
+
+    def test_kmin_boundary_cluster(self) -> None:
+        """m=2 (the smallest legal cluster, k_min boundary for k_min=2)."""
+        member_ids = np.array([[7, 11]], dtype=np.int64)
+        components = np.array([[[-5], [9]]], dtype=np.int64)
+        batch = batched_cluster_shares(
+            FIELD, member_ids, components, np.random.default_rng(1)
+        )
+        assert tuple(int(v) for v in batch.sums[0]) == (4,)
+
+    def test_negative_components_roundtrip(self) -> None:
+        member_ids = np.array([[1, 2, 3]], dtype=np.int64)
+        components = np.array([[[-100], [-200], [-300]]], dtype=np.int64)
+        batch = batched_cluster_shares(
+            FIELD, member_ids, components, np.random.default_rng(5)
+        )
+        assert int(batch.sums[0, 0]) == -600
+
+
+class TestRejections:
+    def test_m1_cluster_rejected(self) -> None:
+        """A 1-member cluster cannot hide anything — same error contract
+        as the scalar path."""
+        with pytest.raises(ShareAlgebraError, match=">= 2 members"):
+            batched_cluster_shares(
+                FIELD,
+                np.array([[4]], dtype=np.int64),
+                np.array([[[1]]], dtype=np.int64),
+                np.random.default_rng(0),
+            )
+
+    def test_duplicate_seeds_rejected(self) -> None:
+        with pytest.raises(ShareAlgebraError, match="duplicate seeds"):
+            batched_generate_shares(
+                FIELD,
+                np.array([[3, 3]], dtype=np.uint64),
+                np.zeros((1, 2, 1), dtype=np.int64),
+                np.random.default_rng(0),
+            )
+
+    def test_zero_seed_rejected(self) -> None:
+        with pytest.raises(ShareAlgebraError, match="seed congruent to 0"):
+            batched_generate_shares(
+                FIELD,
+                np.array([[0, 2]], dtype=np.uint64),
+                np.zeros((1, 2, 1), dtype=np.int64),
+                np.random.default_rng(0),
+            )
+
+    def test_negative_node_id_rejected(self) -> None:
+        with pytest.raises(ShareAlgebraError, match="node ids must be >= 0"):
+            batched_cluster_shares(
+                FIELD,
+                np.array([[-1, 2]], dtype=np.int64),
+                np.zeros((1, 2, 1), dtype=np.int64),
+                np.random.default_rng(0),
+            )
+
+    def test_out_of_range_component_rejected(self) -> None:
+        too_big = FIELD.q // 2
+        with pytest.raises(FieldArithmeticError, match="outside centered range"):
+            batched_generate_shares(
+                FIELD,
+                np.array([[1, 2]], dtype=np.uint64),
+                np.array([[[too_big], [0]]], dtype=np.int64),
+                np.random.default_rng(0),
+            )
+
+    def test_non_mersenne_field_rejected(self) -> None:
+        small = PrimeField(101)
+        with pytest.raises(ShareAlgebraError, match="requires GF"):
+            batched_generate_shares(
+                small,
+                np.array([[1, 2]], dtype=np.uint64),
+                np.zeros((1, 2, 1), dtype=np.int64),
+                np.random.default_rng(0),
+            )
+
+
+class TestAbortPathClusters:
+    def test_aborted_cluster_not_in_batch_keeps_stream_aligned(self) -> None:
+        """Clusters that abort before share generation never draw masks —
+        in either mode. Feeding only the surviving clusters to the batch
+        must equal the scalar path that also skips the aborted one."""
+        setup = np.random.default_rng(31)
+        member_ids, components = _random_clusters(setup, 3, 4, 2)
+        survivors = [0, 2]  # cluster 1 aborted (e.g. member_list_loss)
+
+        scalar_rng = np.random.default_rng(8)
+        batched_rng = np.random.default_rng(8)
+
+        batch = batched_cluster_shares(
+            FIELD, member_ids[survivors], components[survivors], batched_rng
+        )
+        for row, c in enumerate(survivors):
+            ids = [int(v) for v in member_ids[c]]
+            _, _, sums = _scalar_pipeline(ids, components[c], scalar_rng)
+            assert tuple(int(v) for v in batch.sums[row]) == sums
+
+
+class TestStages:
+    def test_stagewise_matches_bundle(self) -> None:
+        member_ids = np.array([[10, 20, 30], [40, 50, 60]], dtype=np.int64)
+        components = np.array(
+            [[[1], [2], [3]], [[4], [5], [6]]], dtype=np.int64
+        )
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        bundle = batched_cluster_shares(FIELD, member_ids, components, rng_a)
+
+        seeds = (member_ids + 1).astype(np.uint64)
+        shares = batched_generate_shares(FIELD, seeds, components, rng_b)
+        fvalues = batched_assemble_fvalues(FIELD, shares)
+        weights = batched_lagrange_weights(FIELD, seeds)
+        sums = batched_recover_sums(FIELD, fvalues, weights)
+        np.testing.assert_array_equal(bundle.shares, shares)
+        np.testing.assert_array_equal(bundle.fvalues, fvalues)
+        np.testing.assert_array_equal(bundle.weights, weights)
+        np.testing.assert_array_equal(bundle.sums, sums)
+
+    def test_weights_match_scalar_cache(self) -> None:
+        seeds = np.array([[5, 9, 14, 2]], dtype=np.uint64)
+        got = batched_lagrange_weights(FIELD, seeds)
+        expected = FIELD.lagrange_weights((5, 9, 14, 2))
+        assert tuple(int(v) for v in got[0]) == expected

@@ -81,4 +81,7 @@ class TestSoak:
         for node in protocol.stack.nodes.values():
             # Exchange + integrity each register at most one listener
             # per round; after N rounds there must not be ~2N.
-            assert len(node._overhear) <= 3
+            registered = len(node._wild_overhear) + sum(
+                len(listeners) for listeners in node._kind_overhear.values()
+            )
+            assert registered <= 4
