@@ -132,6 +132,13 @@ def compare(
     but not the baseline means someone added one without refreshing
     ``benchmarks/baselines/`` — so its perf is ungated. Either way the
     gate fails instead of shrugging.
+
+    Baseline entries may carry ``max_peak_rss_mb``: a ceiling on the
+    fresh run's ``peak_rss_mb`` for that scenario. The counter is the
+    process high-water RSS (monotonic across scenarios), so only the
+    largest scenarios carry meaningful ceilings — the gate exists to
+    catch a memory blow-up in the vectorized bulk path, where an
+    accidental dense N x N intermediate multiplies the footprint.
     """
     regressions = 0
     for name in sorted(fresh.keys() - baseline.keys()):
@@ -152,6 +159,17 @@ def compare(
         print(f"{name:24s} baseline={base:8.4f}s now={now:8.4f}s x{ratio:5.2f} {verdict}")
         if regressed:
             regressions += 1
+        rss_ceiling = base_entry.get("max_peak_rss_mb")
+        if rss_ceiling is not None:
+            rss_now = fresh_entry.get("peak_rss_mb")
+            if rss_now is None:
+                print(f"FAIL {name}: baseline sets max_peak_rss_mb but fresh "
+                      "entry has no peak_rss_mb")
+                regressions += 1
+            elif rss_now > rss_ceiling:
+                print(f"FAIL {name}: peak RSS {rss_now:.1f} MB exceeds "
+                      f"ceiling {rss_ceiling:.1f} MB")
+                regressions += 1
     return regressions
 
 

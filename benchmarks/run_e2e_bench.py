@@ -21,15 +21,27 @@ Run from the repo root::
 Each scenario is measured as best-of-``--repeats`` wall-clock passes
 (deployment generation excluded; everything from Simulator construction
 onward included). Seeded identically every pass, so the work per pass is
-byte-identical and best-of suppresses scheduler noise only.
+byte-identical and best-of suppresses scheduler noise only. A full
+``gc.collect()`` runs between passes and scenarios: long-lived garbage
+from earlier scenarios otherwise inflates later ones (measured ~8%
+drift across three identical 20k rounds in one process — the source of
+a phantom "batched regression" in an earlier report; see docs/PERF.md).
+
+``peak_rss_mb`` records the process high-water RSS after the scenario
+ran. The kernel counter is monotonic over the process lifetime, so the
+value is an upper bound attributable to the *largest* scenario run so
+far, not an isolated per-scenario footprint — meaningful for the
+N=20000/N=100000 rows, which dominate the peak.
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import pathlib
 import platform
+import resource
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
@@ -50,9 +62,9 @@ class Scenario:
 
     ``field_size`` is chosen per node count to pin the *mean degree*
     (how many radios overhear each frame): sparse ~8, dense ~16-20.
-    ``transport`` selects the network backend (see
-    ``docs/TRANSPORT.md``); scenarios differing only in it form a
-    DES-vs-fluid comparison pair. ``share_backend`` selects the share
+    ``transport`` selects the network backend — ``"des"``, ``"fluid"``
+    or ``"fluid-bulk"`` (see ``docs/TRANSPORT.md``); scenarios
+    differing only in it form a backend comparison pair. ``share_backend`` selects the share
     pipeline (``"scalar"`` or ``"batched"``, see ``docs/PERF.md``);
     scenarios differing only in it form a scalar-vs-batched pair.
     ``repeats`` overrides the global ``--repeats`` for scenarios too
@@ -88,6 +100,18 @@ def _scenarios(scale: str) -> Dict[str, Scenario]:
                 "icpda", 20000, 3000.0, 15, "fluid",
                 share_backend="batched", repeats=1,
             ),
+            # Same round through the bulk (tick-grid, vectorized) fluid
+            # path: the pair quantifies the macro-event batching gain.
+            "icpda_huge_fluid_bulk": Scenario(
+                "icpda", 20000, 3000.0, 15, "fluid-bulk",
+                share_backend="batched", repeats=1,
+            ),
+            # The 100k-node round only the bulk path makes tractable:
+            # same density (degree ~17), one full iCPDA round.
+            "icpda_mega_fluid_bulk": Scenario(
+                "icpda", 100000, 6708.0, 16, "fluid-bulk",
+                share_backend="batched", repeats=1,
+            ),
         }
     return {
         "tag_sparse_small": Scenario("tag", 300, 540.0, 11),
@@ -107,8 +131,21 @@ def _scenarios(scale: str) -> Dict[str, Scenario]:
             "icpda", 20000, 3000.0, 15, "fluid",
             share_backend="batched", repeats=1,
         ),
+        # Bulk pair for the batched 20k row (differs only in transport),
+        # plus the 100k round that exists only because of the bulk path.
+        "icpda_huge_fluid_bulk": Scenario(
+            "icpda", 20000, 3000.0, 15, "fluid-bulk",
+            share_backend="batched", repeats=1,
+        ),
+        "icpda_mega_fluid_bulk": Scenario(
+            "icpda", 100000, 6708.0, 16, "fluid-bulk",
+            share_backend="batched", repeats=1,
+        ),
         "storm_dense_large": Scenario("storm", 2000, 250.0, 14),
         "storm_dense_large_fluid": Scenario("storm", 2000, 250.0, 14, "fluid"),
+        "storm_dense_large_fluid_bulk": Scenario(
+            "storm", 2000, 250.0, 14, "fluid-bulk"
+        ),
     }
 
 
@@ -153,6 +190,11 @@ def _run_icpda(scenario: Scenario, deployment) -> Tuple[float, dict]:
     assert result.clusters_completed > 0, "degenerate scenario: no clusters"
     stats = dict(protocol.stack.medium.stats.snapshot())
     stats["events_fired"] = protocol.sim.stats.fired
+    snap = protocol.profiler.snapshot()
+    stats["phase_seconds"] = {
+        name: round(snap.get(f"{name}.wall_s", 0.0), 6)
+        for name in ("tree", "clustering", "exchange", "report")
+    }
     return elapsed, stats
 
 
@@ -249,8 +291,10 @@ def run_scenario(name: str, scenario: Scenario, repeats: int) -> dict:
     best = float("inf")
     stats: dict = {}
     for _ in range(max(1, repeats)):
+        gc.collect()
         elapsed, stats = runner(scenario, deployment)
         best = min(best, elapsed)
+    gc.collect()
     entry = {
         "protocol": scenario.protocol,
         "transport": scenario.transport,
@@ -265,7 +309,13 @@ def run_scenario(name: str, scenario: Scenario, repeats: int) -> dict:
         "deliveries": stats.get("deliveries", 0),
         "events_fired": stats.get("events_fired", 0),
         "tx_per_sec": round(stats.get("transmissions", 0) / best, 1),
+        # Process high-water RSS (monotonic; see module docstring).
+        "peak_rss_mb": round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1
+        ),
     }
+    if "phase_seconds" in stats:
+        entry["phase_seconds"] = stats["phase_seconds"]
     print(
         f"{name:22s} N={scenario.num_nodes:<5d} deg={degree:5.1f} "
         f"best={best:8.3f}s  {entry['tx_per_sec']:>10.1f} tx/s"

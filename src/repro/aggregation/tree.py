@@ -108,6 +108,9 @@ class _TreeBuilder:
         self._stack.broadcast(
             self._root, HELLO_KIND, {"depth": 0, "query": self._query}
         )
+        # Burst boundary: the root hello is a complete burst of its own.
+        # Per-frame backends no-op; the bulk backend seals here.
+        self._stack.flush()
         self._stack.sim.trace.emit("tree.start", "hello flood started", root=self._root)
 
     def _make_handler(self, node_id: int):
@@ -128,7 +131,7 @@ class _TreeBuilder:
             # Bound method + args payload: no per-hello closure allocation.
             self._stack.sim.schedule(
                 delay,
-                self._stack.broadcast,
+                self._forward,
                 args=(node_id, HELLO_KIND, {"depth": depth, "query": query}),
                 name="hello-forward",
             )
@@ -141,6 +144,12 @@ class _TreeBuilder:
             )
 
         return on_hello
+
+    def _forward(self, node_id: int, kind: str, payload: dict) -> None:
+        """Rebroadcast a hello and mark the burst boundary (one flood
+        hop is one burst; the bulk backend seals it in one draw)."""
+        self._stack.broadcast(node_id, kind, payload)
+        self._stack.flush()
 
 
 def build_aggregation_tree(

@@ -216,16 +216,26 @@ class ReportAndVerdictPhase:
             for member in cluster.informed_members:
                 self._head_of[member] = head
 
-        # cluster id -> (suspect, witness) -> expectation.
+        # cluster id -> (suspect, witness) -> expectation. Canonical
+        # store; the watchdog/finalize sweeps iterate it so their alarm
+        # order is fixed by slot-creation order.
         self._expectations: Dict[int, Dict[Tuple[int, int], _Expectation]] = {}
         # (suspect, witness) -> number of UNRESOLVED expectations across
-        # all clusters. The own-head-report path in
-        # _resolve_expectations scans every cluster slot per overheard
-        # report; this counter lets it return immediately in the common
-        # case (nothing armed for this suspect/witness pair), without
-        # perturbing the scan order — and hence the alarm/RNG order —
-        # when work does exist.
+        # all clusters: lets the own-head-report resolution path return
+        # immediately in the common case (nothing armed for this
+        # suspect/witness pair).
         self._unresolved: Dict[Tuple[int, int], int] = {}
+        # Secondary indexes over the SAME _Expectation objects, so the
+        # per-overheard-frame paths touch only the entries they can
+        # resolve instead of scanning whole slots (the report wave at
+        # 20k nodes overhears ~700k frames — O(slot) scans dominated
+        # the round before these were added). Entries keep each list in
+        # arming order, matching the filtered iteration order of the
+        # canonical store within one slot.
+        # (suspect, witness) -> [(cluster, expectation), ...]
+        self._armed_by_pair: Dict[Tuple[int, int], List[Tuple[int, _Expectation]]] = {}
+        # (cluster, witness) -> [(suspect, expectation), ...]
+        self._armed_by_cw: Dict[Tuple[int, int], List[Tuple[int, _Expectation]]] = {}
         self._processed_reports: Dict[int, Set[int]] = {
             n: set() for n in stack.node_ids()
         }
@@ -496,11 +506,11 @@ class ReportAndVerdictPhase:
         def witness(packet: Packet) -> None:
             if packet.kind == REPORT_ACK_KIND:
                 cluster = int(packet.payload["cluster"])
-                slot = self._expectations.get(cluster)
-                if slot is None:
+                entries = self._armed_by_cw.get((cluster, node))
+                if entries is None:
                     return
-                for (suspect, witness_id), expectation in slot.items():
-                    if witness_id != node or expectation.resolved:
+                for suspect, expectation in entries:
+                    if expectation.resolved:
                         continue
                     if packet.src == suspect:
                         expectation.acked = True
@@ -508,14 +518,12 @@ class ReportAndVerdictPhase:
                         # A third party acknowledged this cluster's report:
                         # it moved past the suspect. Resolve silently.
                         expectation.resolved = True
-                        self._unresolved[(suspect, witness_id)] -= 1
+                        self._unresolved[(suspect, node)] -= 1
                 return
             if packet.kind != REPORT_KIND:
                 return
             payload = packet.payload
             cluster = int(payload["cluster"])
-            totals = tuple(int(v) for v in payload["total"])
-            contributors = int(payload["contributors"])
 
             # 1. Member witness: my head's own report.
             if packet.src == self._head_of.get(node) and cluster == packet.src:
@@ -525,13 +533,24 @@ class ReportAndVerdictPhase:
             self._resolve_expectations(node, packet.src, payload)
 
             # 3. Arm a watchdog for the next hop, if it is my neighbor.
+            # The totals/contributors parse is deferred to here: most
+            # overheard report frames arm nothing.
             target = packet.dst
             if target != node and target in adjacency and target != self._tree.root:
                 slot = self._expectations.setdefault(cluster, {})
                 key = (target, node)
                 if key not in slot:
-                    slot[key] = _Expectation(
-                        sender=packet.src, totals=totals, contributors=contributors
+                    expectation = _Expectation(
+                        sender=packet.src,
+                        totals=tuple(int(v) for v in payload["total"]),
+                        contributors=int(payload["contributors"]),
+                    )
+                    slot[key] = expectation
+                    self._armed_by_pair.setdefault(key, []).append(
+                        (cluster, expectation)
+                    )
+                    self._armed_by_cw.setdefault((cluster, node), []).append(
+                        (target, expectation)
                     )
                     unresolved = self._unresolved
                     unresolved[key] = unresolved.get(key, 0) + 1
@@ -566,12 +585,11 @@ class ReportAndVerdictPhase:
 
     def _resolve_expectations(self, witness: int, actor: int, payload: dict) -> None:
         cluster = int(payload["cluster"])
-        totals = tuple(int(v) for v in payload["total"])
 
         if cluster == actor:
             # Actor's own head report: every armed (actor, c) expectation
             # this witness holds must appear unaltered in its child list.
-            # The unresolved counter skips both the cluster scan and the
+            # The unresolved counter skips both the index walk and the
             # child-list parse when this witness watches nothing for this
             # actor — the common case for every overheard head report.
             if not self._unresolved.get((actor, witness)):
@@ -579,9 +597,8 @@ class ReportAndVerdictPhase:
             listed = {
                 int(c[0]): tuple(int(v) for v in c[1]) for c in payload["children"]
             }
-            for child_cluster, slot in self._expectations.items():
-                expectation = slot.get((actor, witness))
-                if expectation is None or expectation.resolved:
+            for child_cluster, expectation in self._armed_by_pair[(actor, witness)]:
+                if expectation.resolved:
                     continue
                 seen = listed.get(child_cluster)
                 if seen is None:
@@ -607,6 +624,7 @@ class ReportAndVerdictPhase:
         if expectation is not None and not expectation.resolved:
             expectation.resolved = True
             self._unresolved[(actor, witness)] -= 1
+            totals = tuple(int(v) for v in payload["total"])
             if totals != expectation.totals:
                 self._raise_alarm(
                     witness,
@@ -619,13 +637,14 @@ class ReportAndVerdictPhase:
         # than the original sender's retransmissions) is carrying this
         # cluster's report, so every suspect this witness watches for the
         # cluster has demonstrably passed it on.
-        for (suspect, witness_id), other in slot.items():
-            if witness_id != witness:
-                continue
+        entries = self._armed_by_cw.get((cluster, witness))
+        if entries is None:
+            return
+        for suspect, other in entries:
             if other.resolved or actor == suspect or actor == other.sender:
                 continue
             other.resolved = True
-            self._unresolved[(suspect, witness_id)] -= 1
+            self._unresolved[(suspect, witness)] -= 1
 
     def _fire_watchdogs(self) -> None:
         for cluster, slot in self._expectations.items():

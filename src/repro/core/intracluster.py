@@ -336,8 +336,12 @@ class IntraClusterExchange:
             batch = batched_cluster_shares(
                 self._field, member_ids, components, rng
             )
-            shares = batch.shares.tolist()
-            fvalues = batch.fvalues.tolist()
+            # Transpose once in numpy so the per-bundle loops below read
+            # contiguous slices instead of hopping axes per element:
+            # shares (C, sender, A, recipient) -> (C, sender, recipient, A)
+            # and fvalues (C, A, member) -> (C, member, A).
+            shares = batch.shares.transpose(0, 1, 3, 2).tolist()
+            fvalues = batch.fvalues.transpose(0, 2, 1).tolist()
             sums = batch.sums.tolist()
             seeds = batch.seeds.tolist()
             for c, state in enumerate(states):
@@ -346,18 +350,14 @@ class IntraClusterExchange:
                 cluster_shares = shares[c]
                 cluster_fvalues = fvalues[c]
                 for i, member in enumerate(participants):
-                    rows = cluster_shares[i]  # (arity, m)
+                    rows = cluster_shares[i]  # (m recipients, arity)
                     self._batched_bundles[member] = {
                         recipient: ShareBundle(
-                            member,
-                            cluster_seeds[j],
-                            tuple(rows[a][j] for a in range(arity)),
+                            member, cluster_seeds[j], tuple(rows[j])
                         )
                         for j, recipient in enumerate(participants)
                     }
-                    self._batched_fvalues[member] = tuple(
-                        cluster_fvalues[a][i] for a in range(arity)
-                    )
+                    self._batched_fvalues[member] = tuple(cluster_fvalues[i])
                 self._batched_sums[state.head] = tuple(sums[c])
 
     # -- sending shares -----------------------------------------------------------
@@ -392,6 +392,10 @@ class IntraClusterExchange:
                     )
                     return
                 self._dispatch_share(member, recipient, state.head, ciphertext, 0)
+            # Burst boundary: one member's whole share spray (m-1
+            # frames) is a single burst — the bulk backend seals it in
+            # one vectorized draw; per-frame backends no-op.
+            self._stack.flush()
 
         return send_shares
 

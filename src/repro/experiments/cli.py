@@ -39,6 +39,7 @@ from repro.experiments.engine import (
 )
 from repro.experiments.io import save_manifest, save_rows
 from repro.metrics.report import render_table
+from repro.net.transport import TRANSPORT_KINDS
 
 #: experiment id -> (description, full spec builder, quick spec builder)
 SpecBuilder = Callable[[], ExperimentSpec]
@@ -184,12 +185,15 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--transport",
-        choices=("des", "fluid"),
+        choices=TRANSPORT_KINDS,
         default="des",
         help=(
-            "network backend for every cell (default: des). The choice "
-            "enters each cell's cache key via the spec context, so des "
-            "and fluid results never collide in the cell cache."
+            "network backend for every cell (default: des). 'fluid' "
+            "samples the analytic channel per frame; 'fluid-bulk' is "
+            "the same model resolved in vectorized batches (large-N "
+            "sweeps, see docs/TRANSPORT.md). The choice enters each "
+            "cell's cache key via the spec context, so results from "
+            "different backends never collide in the cell cache."
         ),
     )
     parser.add_argument(
@@ -274,8 +278,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         description, full, quick = registry[exp_id]
         spec = (quick if args.quick else full)()
         # Key cached cells by backend: "des" is the implicit default (so
-        # pre-existing caches stay valid); "fluid" lands in the context
-        # and therefore in every cell's cache key.
+        # pre-existing caches stay valid); "fluid"/"fluid-bulk" land in
+        # the context and therefore in every cell's cache key.
         if args.transport != "des":
             spec.context["transport"] = args.transport
         # Same cache-key discipline as --transport: "scalar" is the

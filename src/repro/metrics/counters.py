@@ -50,6 +50,28 @@ class MessageCounters:
         cell[0] += 1
         cell[1] += num_bytes
 
+    def record_tx_many(
+        self, node_id: int, kind: str, messages: int, num_bytes: int
+    ) -> None:
+        """Count ``messages`` transmitted frames totalling ``num_bytes``.
+
+        Batch equivalent of ``messages`` :meth:`record_tx` calls — used
+        by batched transports to pay one dict access per (node, kind)
+        cell instead of one per frame."""
+        cell = self._tx.setdefault((node_id, kind), [0, 0])
+        cell[0] += messages
+        cell[1] += num_bytes
+
+    def record_rx_many(
+        self, node_id: int, kind: str, messages: int, num_bytes: int
+    ) -> None:
+        """Count ``messages`` received frames totalling ``num_bytes``
+        (batch equivalent of :meth:`record_rx`, see
+        :meth:`record_tx_many`)."""
+        cell = self._rx.setdefault((node_id, kind), [0, 0])
+        cell[0] += messages
+        cell[1] += num_bytes
+
     # -- rollups -------------------------------------------------------------
 
     @property

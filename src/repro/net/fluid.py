@@ -38,6 +38,7 @@ and asserted by the analysis test suite at overlapping scales.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -89,12 +90,22 @@ class FluidParams:
         phases.
     congestion_cap:
         Ceiling on the congestion term (saturated fields).
+    bulk_tick_s:
+        Resolution quantum of the *bulk* backend only
+        (:class:`BulkFluidTransport`; the per-frame path ignores it).
+        Frame batches are resolved on this tick grid, so a larger tick
+        buys bigger vectorized batches at the price of handler-callback
+        quantization — a frame's handlers fire up to
+        ``access_jitter_s + airtime + bulk_tick_s`` after its closed-form
+        delivery instant. The default (one access-jitter window) is far
+        below every protocol timescale (ACK timeouts, report slots).
     """
 
     access_jitter_s: float = 0.005
     congestion_coeff: float = 0.00283
     congestion_exponent: float = 0.74
     congestion_cap: float = 0.25
+    bulk_tick_s: float = 0.005
 
     def __post_init__(self) -> None:
         if self.access_jitter_s < 0:
@@ -105,6 +116,8 @@ class FluidParams:
             raise SimulationError("congestion_exponent must be >= 0")
         if not 0.0 <= self.congestion_cap < 1.0:
             raise SimulationError("congestion_cap must be in [0, 1)")
+        if not self.bulk_tick_s > 0:
+            raise SimulationError("bulk_tick_s must be > 0")
 
 
 @dataclass
@@ -583,6 +596,12 @@ class FluidTransport:
                     account_rx(receiver, total_bytes * (1.0 - row[index][0]))
         self._pending_rx.clear()
 
+    def flush(self) -> None:
+        """No-op: the per-frame path resolves each frame on its own event.
+
+        Part of the transport seam so protocol phases can mark burst
+        boundaries unconditionally; only the bulk backend acts on it."""
+
     def reset_accounting(self) -> None:
         """Zero every accounting namespace (new round, same network)."""
         self._pending_rx.clear()
@@ -594,4 +613,468 @@ class FluidTransport:
         return (
             f"FluidTransport(nodes={self.deployment.num_nodes}, "
             f"range={self.radio.range_m}m)"
+        )
+
+
+class BulkFluidTransport(FluidTransport):
+    """Fluid backend resolving frames in vectorized macro-event batches.
+
+    Same analytic channel model as :class:`FluidTransport` — identical
+    per-link loss probabilities, congestion gating, and delay law — but
+    the hot path is restructured around two batch boundaries:
+
+    * **Seal.** Emitted frames accumulate in a burst list, each with
+      its transmit instant. The burst is sealed either explicitly —
+      protocol senders call :meth:`flush` at their burst boundary (the
+      end of a share spray, a flood rebroadcast) — or lazily by the
+      next resolve tick. Sealing draws *one* vectorized access-jitter
+      block (stream ``fluid.bulk.delay``, in frame emission order),
+      runs the per-cell contention gate, records tx accounting, and
+      appends the frames to the pending batch. Each frame keys up
+      relative to its own transmit instant, so lazy and eager sealing
+      sample the same timeline.
+    * **Resolve.** Frames resolve on a tick grid
+      (``FluidParams.bulk_tick_s``): one
+      :meth:`~repro.sim.kernel.Simulator.schedule_batch` macro-event
+      per tick with traffic resolves every frame due at its fire time —
+      CSR fan-out expansion, candidate masking (addressed receiver,
+      kind/wildcard listeners, live nodes), one vectorized loss block
+      (stream ``fluid.bulk.loss``, in (delivery, adjacency) order over
+      candidate pairs), stats/counter accumulation as array ops, then
+      one Python pass dispatching handlers over the surviving
+      (receiver, frame) pairs.
+
+    Determinism contract (mirrors the batched share backend): a seeded
+    bulk run is exactly reproducible, and coherence with the DES holds
+    at the same tolerance bars as the per-frame fluid path — but the
+    bulk path is **not** byte-identical to per-frame fluid (draws come
+    from dedicated ``fluid.bulk.*`` streams, and handler callbacks fire
+    at the batch horizon rather than each frame's own delivery instant;
+    the quantization is bounded by jitter + airtime, ~6 ms). The
+    per-frame path stays byte-identical and remains the default.
+    Divergences are documented in ``docs/TRANSPORT.md``.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        num_nodes = len(self.adjacency)
+        self._num_nodes = num_nodes
+        # CSR adjacency (indptr/indices) over ascending node ids, plus
+        # flat per-edge loss parameters computed once with the *same*
+        # elementwise formulas as _loss_row — identical floats, so the
+        # expected-value energy ledger and the batch agree per link.
+        degrees = np.fromiter(
+            (len(self.adjacency[node]) for node in range(num_nodes)),
+            dtype=np.int64,
+            count=num_nodes,
+        )
+        self._indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(degrees, out=self._indptr[1:])
+        total_edges = int(self._indptr[-1])
+        self._indices = np.fromiter(
+            (
+                neighbor
+                for node in range(num_nodes)
+                for neighbor in self.adjacency[node]
+            ),
+            dtype=np.int64,
+            count=total_edges,
+        )
+        radio = self.radio
+        positions = self.deployment.positions
+        edge_src = np.repeat(np.arange(num_nodes, dtype=np.int64), degrees)
+        delta = positions[self._indices] - positions[edge_src]
+        distances = np.hypot(delta[:, 0], delta[:, 1])
+        congestion = self._congestion[self._indices]
+        fading = (
+            radio.edge_fading
+            * np.clip(distances / radio.range_m, 0.0, 1.0) ** 4
+        )
+        keep_channel = (1.0 - radio.ambient_loss) * (1.0 - fading)
+        keep = keep_channel * (1.0 - congestion)
+        channel = radio.ambient_loss + fading
+        denominator = congestion + channel
+        self._edge_share = np.divide(
+            congestion,
+            denominator,
+            out=np.zeros_like(congestion),
+            where=denominator > 0.0,
+        )
+        self._edge_loss_contended = 1.0 - keep
+        self._edge_loss_free = 1.0 - keep_channel
+        # Burst (unsealed frames, each with its transmit instant) and
+        # batch (sealed frames awaiting their resolve tick), column-wise.
+        self._burst: List[Tuple[Packet, float, float]] = []
+        self._q_time: List[float] = []
+        self._q_src: List[int] = []
+        self._q_dst: List[int] = []
+        self._q_contended: List[bool] = []
+        self._q_packet: List[Packet] = []
+        self._flush_horizon = -math.inf
+        self._tick_s = self.params.bulk_tick_s
+        # Bulk contention state: same radio-range grid cells as the
+        # per-frame path, tracked in a plain list for the seal loop.
+        self._busy_bulk: List[float] = [-1.0] * len(self._busy_until)
+        self._dead_mask = np.zeros(num_nodes, dtype=bool)
+        # Receiver masks for candidate selection, invalidated on
+        # listener registration changes.
+        self._kind_mask_cache: Dict[str, np.ndarray] = {}
+        self._wild_mask = np.zeros(num_nodes, dtype=bool)
+
+    # -- sending ----------------------------------------------------------------
+
+    def _transmit(self, packet: Packet) -> None:
+        src = packet.src
+        if src not in self.adjacency:
+            raise SimulationError(f"unknown source node {src}")
+        if src in self._dead:
+            # Same contract as the per-frame paths: a crashed radio keys
+            # up nothing and its non-transmission is not counted.
+            self.sim.trace.emit(
+                "fluid.dead_tx",
+                "dead node %(node)s asked to send %(kind)s",
+                node=src,
+                kind=packet.kind,
+            )
+            return
+        now = self.sim.now
+        airtime = self.radio.airtime(packet)
+        self._burst.append((packet, now, airtime))
+        # Frames resolve on a tick grid: the frame rides the next
+        # macro-event at or after its latest possible delivery instant.
+        # One schedule_batch per *tick with traffic* — quiet ticks cost
+        # nothing, busy ticks absorb every frame due in their window.
+        latest = now + self.params.access_jitter_s + airtime
+        tick_s = self._tick_s
+        tick = (math.floor(latest / tick_s) + 1) * tick_s
+        if tick > self._flush_horizon:
+            self._flush_horizon = tick
+            self.sim.schedule_batch(tick - now, self._resolve_batch, ())
+
+    def flush(self) -> None:
+        """Seal the pending burst now (idempotent, cheap when empty).
+
+        Protocol senders call this at burst boundaries (end of a share
+        spray, after a flood rebroadcast) so the burst's tx accounting
+        lands at its emission instant and its jitter draws form one
+        block. Unsealed frames are otherwise sealed lazily by the next
+        resolve tick — not calling flush is never incorrect."""
+        if self._burst:
+            self._seal_burst()
+
+    def _seal_burst(self) -> None:
+        burst = self._burst
+        if not burst:
+            return
+        self._burst = []
+        dead = self._dead
+        if dead:
+            # A sender that died between emission and seal never keyed
+            # up: its frames are dropped *before any draw*, so later
+            # frames sample the exact same stream positions as in a run
+            # where the dead node never sent (fail-silent, uncounted).
+            alive = [entry for entry in burst if entry[0].src not in dead]
+            if len(alive) != len(burst) and self.sim.trace.on:
+                for packet, _, _ in burst:
+                    if packet.src in dead:
+                        self.sim.trace.emit(
+                            "fluid.bulk.dead_drop",
+                            "dropped queued frame from dead node %(node)s",
+                            node=packet.src,
+                            kind=packet.kind,
+                        )
+            burst = alive
+            if not burst:
+                return
+        count = len(burst)
+        jitter_s = self.params.access_jitter_s
+        record_tx = self.counters.record_tx
+        account_tx = self.energy.account_tx
+        pending = self._pending_rx
+        tx_cell = self._tx_cell
+        busy = self._busy_bulk
+        q_time = self._q_time
+        q_src = self._q_src
+        q_dst = self._q_dst
+        q_contended = self._q_contended
+        q_packet = self._q_packet
+        # One vectorized jitter block per seal; draw order == frame
+        # emission order (the documented contract, see uniform_block).
+        # Each frame keys up relative to its own transmit instant, so
+        # sealing lazily at the resolve tick samples the same timeline
+        # as sealing eagerly at flush().
+        coins = self.sim.rng.uniform_block("fluid.bulk.delay", count).tolist()
+        for position, (packet, tx_time, airtime) in enumerate(burst):
+            src = packet.src
+            size = packet.size_bytes
+            record_tx(src, packet.kind, size)
+            account_tx(src, size)
+            pending[src] = pending.get(src, 0) + size
+            keyup = tx_time + coins[position] * jitter_s
+            cell = tx_cell[src]
+            contended = keyup < busy[cell]
+            end = keyup + airtime
+            if end > busy[cell]:
+                busy[cell] = end
+            q_time.append(end)
+            q_src.append(src)
+            q_dst.append(packet.dst)
+            q_contended.append(contended)
+            q_packet.append(packet)
+        self.stats.transmissions += count
+
+    # -- delivery ---------------------------------------------------------------
+
+    def _kind_mask(self, kind: str) -> np.ndarray:
+        """Boolean receiver mask: nodes with listeners for ``kind``."""
+        mask = self._kind_mask_cache.get(kind)
+        if mask is None:
+            mask = np.zeros(self._num_nodes, dtype=bool)
+            by_node = self._kind_overhear.get(kind)
+            if by_node:
+                mask[list(by_node)] = True
+            self._kind_mask_cache[kind] = mask
+        return mask
+
+    def _resolve_batch(self) -> int:
+        """Resolve every queued frame due now; returns the frame count.
+
+        The return value is the macro-event's logical event count (see
+        :meth:`~repro.sim.kernel.Simulator.schedule_batch`)."""
+        if self._burst:
+            self._seal_burst()
+        total = len(self._q_time)
+        if not total:
+            return 0
+        now = self.sim.now
+        times = np.array(self._q_time, dtype=np.float64)
+        due = times <= now
+        if due.all():
+            src = np.array(self._q_src, dtype=np.int64)
+            dst = np.array(self._q_dst, dtype=np.int64)
+            contended = np.array(self._q_contended, dtype=bool)
+            packets = self._q_packet
+            due_times = times
+            self._q_time = []
+            self._q_src = []
+            self._q_dst = []
+            self._q_contended = []
+            self._q_packet = []
+        else:
+            due_list = np.flatnonzero(due).tolist()
+            keep_list = np.flatnonzero(~due).tolist()
+            src = np.array([self._q_src[i] for i in due_list], dtype=np.int64)
+            dst = np.array([self._q_dst[i] for i in due_list], dtype=np.int64)
+            contended = np.array(
+                [self._q_contended[i] for i in due_list], dtype=bool
+            )
+            packets = [self._q_packet[i] for i in due_list]
+            due_times = times[due]
+            self._q_time = [self._q_time[i] for i in keep_list]
+            self._q_src = [self._q_src[i] for i in keep_list]
+            self._q_dst = [self._q_dst[i] for i in keep_list]
+            self._q_contended = [self._q_contended[i] for i in keep_list]
+            self._q_packet = [self._q_packet[i] for i in keep_list]
+        count = len(packets)
+        # Deterministic resolution order: (delivery instant, seal order).
+        order = np.argsort(due_times, kind="stable")
+        if not (order == np.arange(count)).all():
+            src = src[order]
+            dst = dst[order]
+            contended = contended[order]
+            packets = [packets[i] for i in order.tolist()]
+
+        # CSR fan-out expansion: one (frame, neighbor) pair per edge.
+        indptr = self._indptr
+        degrees = indptr[src + 1] - indptr[src]
+        total_pairs = int(degrees.sum())
+        if total_pairs == 0:
+            self._dispatch([], [], packets)
+            self._ensure_resolvable()
+            return count
+        frame_of = np.repeat(np.arange(count, dtype=np.int64), degrees)
+        starts = np.zeros(count, dtype=np.int64)
+        np.cumsum(degrees[:-1], out=starts[1:])
+        edge = indptr[src[frame_of]] + (
+            np.arange(total_pairs, dtype=np.int64) - starts[frame_of]
+        )
+        recv = self._indices[edge]
+
+        # Candidate pairs: broadcast frames reach every neighbor; a
+        # unicast reaches its addressee plus any neighbor with a
+        # matching kind/wildcard listener. Dead receivers are excluded
+        # *before* the draw (they consume no coin, as per frame).
+        is_broadcast = dst == BROADCAST
+        pair_broadcast = is_broadcast[frame_of]
+        candidates = pair_broadcast | (recv == dst[frame_of])
+        kinds: Dict[str, List[int]] = {}
+        for index, packet in enumerate(packets):
+            kinds.setdefault(packet.kind, []).append(index)
+        kind_overhear = self._kind_overhear
+        for kind, frame_ids in kinds.items():
+            by_node = kind_overhear.get(kind)
+            if not by_node:
+                continue
+            frame_mask = np.zeros(count, dtype=bool)
+            frame_mask[frame_ids] = True
+            candidates |= (
+                frame_mask[frame_of] & ~pair_broadcast & self._kind_mask(kind)[recv]
+            )
+        if self._wild_count:
+            candidates |= ~pair_broadcast & self._wild_mask[recv]
+        if self._dead:
+            candidates &= ~self._dead_mask[recv]
+
+        pair_idx = np.flatnonzero(candidates)
+        pair_frame = frame_of[pair_idx]
+        pair_edge = edge[pair_idx]
+        pair_recv = recv[pair_idx]
+        pair_count = pair_idx.size
+        if pair_count == 0:
+            self._dispatch([], [], packets)
+            self._ensure_resolvable()
+            return count
+
+        # One vectorized loss block per resolve; draw order == candidate
+        # pairs in (delivery, adjacency-position) order. Unlike the
+        # per-frame path, zero-probability pairs consume a coin too —
+        # the streams are disjoint, so only bulk-internal reproducibility
+        # matters, and the uniform block keeps the hot path branch-free.
+        pair_contended = contended[pair_frame]
+        probability = np.where(
+            pair_contended,
+            self._edge_loss_contended[pair_edge],
+            self._edge_loss_free[pair_edge],
+        )
+        draws = self.sim.rng.uniform_block("fluid.bulk.loss", int(pair_count))
+        lost = draws < probability
+        share = np.where(pair_contended, self._edge_share[pair_edge], 0.0)
+        collided = draws < probability * share
+        num_collisions = int(np.count_nonzero(collided))
+        self.stats.collisions += num_collisions
+        self.stats.ambient_losses += int(np.count_nonzero(lost)) - num_collisions
+
+        survivors = ~lost
+        surv_frame = pair_frame[survivors]
+        surv_recv = pair_recv[survivors]
+        self.stats.deliveries += int(surv_frame.size)
+
+        # Addressed receptions (broadcast neighbors + unicast addressees)
+        # hit the message counters, grouped per (receiver, kind) so the
+        # dict work is one call per distinct cell, not per reception.
+        addressed = pair_broadcast[pair_idx][survivors] | (
+            surv_recv == dst[surv_frame]
+        )
+        if addressed.any():
+            rx_frame = surv_frame[addressed]
+            rx_recv = surv_recv[addressed]
+            sizes = np.fromiter(
+                (packet.size_bytes for packet in packets),
+                dtype=np.float64,
+                count=count,
+            )
+            record_rx_many = self.counters.record_rx_many
+            for kind, frame_ids in kinds.items():
+                frame_mask = np.zeros(count, dtype=bool)
+                frame_mask[frame_ids] = True
+                in_kind = frame_mask[rx_frame]
+                if not in_kind.any():
+                    continue
+                k_recv = rx_recv[in_kind]
+                k_bytes = sizes[rx_frame[in_kind]]
+                nodes, inverse = np.unique(k_recv, return_inverse=True)
+                counts = np.bincount(inverse)
+                byte_sums = np.bincount(inverse, weights=k_bytes)
+                for position, node in enumerate(nodes.tolist()):
+                    record_rx_many(
+                        node,
+                        kind,
+                        int(counts[position]),
+                        int(byte_sums[position]),
+                    )
+
+        self._dispatch(surv_frame.tolist(), surv_recv.tolist(), packets)
+        self._ensure_resolvable()
+        return count
+
+    def _dispatch(
+        self,
+        surv_frame: List[int],
+        surv_recv: List[int],
+        packets: List[Packet],
+    ) -> None:
+        """One pass over surviving (receiver, frame) pairs: listeners
+        first, then the addressed handler — per-receiver ordering
+        identical to the per-frame paths. Frames emitted by handlers
+        during the pass schedule their own resolve ticks and are sealed
+        lazily (or by an explicit flush)."""
+        handlers = self._handlers
+        kind_overhear = self._kind_overhear
+        wild_overhear = self._wild_overhear
+        position = 0
+        pair_count = len(surv_frame)
+        while position < pair_count:
+            frame = surv_frame[position]
+            packet = packets[frame]
+            kind = packet.kind
+            dst = packet.dst
+            broadcast = dst == BROADCAST
+            kind_listeners = kind_overhear.get(kind)
+            wild = self._wild_count > 0
+            while position < pair_count and surv_frame[position] == frame:
+                receiver = surv_recv[position]
+                position += 1
+                if wild:
+                    for listener in wild_overhear.get(receiver, ()):
+                        listener(packet)
+                if kind_listeners is not None:
+                    for listener in kind_listeners.get(receiver, ()):
+                        listener(packet)
+                if broadcast or receiver == dst:
+                    handler = handlers[receiver].get(kind)
+                    if handler is not None:
+                        handler(packet)
+
+    def _ensure_resolvable(self) -> None:
+        """Safety net against stranded frames: if queued frames remain
+        but no future resolve tick is pending (possible only through
+        float rounding at a tick boundary), schedule one at the latest
+        queued delivery instant."""
+        if self._q_time and self._flush_horizon <= self.sim.now:
+            latest = max(self._q_time)
+            tick_s = self._tick_s
+            tick = (math.floor(latest / tick_s) + 1) * tick_s
+            self._flush_horizon = tick
+            self.sim.schedule_batch(tick - self.sim.now, self._resolve_batch, ())
+
+    # -- receiving ----------------------------------------------------------------
+
+    def register_overhear(
+        self,
+        node_id: int,
+        listener: OverhearListener,
+        kinds: Optional[Sequence[str]] = None,
+    ) -> None:
+        super().register_overhear(node_id, listener, kinds)
+        if kinds is None:
+            self._wild_mask[node_id] = True
+        else:
+            for kind in kinds:
+                self._kind_mask_cache.pop(kind, None)
+
+    def clear_overhear(self, node_id: int) -> None:
+        super().clear_overhear(node_id)
+        self._wild_mask[node_id] = False
+        self._kind_mask_cache.clear()
+
+    # -- lifecycle / accounting ----------------------------------------------------
+
+    def fail_node(self, node_id: int) -> None:
+        super().fail_node(node_id)
+        self._dead_mask[node_id] = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BulkFluidTransport(nodes={self.deployment.num_nodes}, "
+            f"range={self.radio.range_m}m, queued={len(self._q_packet)})"
         )

@@ -270,6 +270,12 @@ class NetworkStack:
         """True if the node was crash-stopped."""
         return self.medium.is_dead(node_id)
 
+    def flush(self) -> None:
+        """No-op: the DES resolves every frame through its own MAC/medium
+        events. Part of the transport seam so protocol phases can mark
+        burst boundaries unconditionally (the bulk fluid backend seals
+        its pending batch here)."""
+
     def reset_accounting(self) -> None:
         """Zero every accounting namespace this stack registers (new
         round, same network): byte counters, the energy ledger, per-node

@@ -146,6 +146,18 @@ class Transport(Protocol):
         size_bytes: Optional[int] = None,
     ) -> Packet: ...
 
+    def flush(self) -> None:
+        """Mark a burst boundary: every frame the caller just emitted
+        belongs to one logical burst (a flood rebroadcast, one member's
+        share spray, a report wave hop).
+
+        Per-frame backends (``des``, ``fluid``) no-op — each frame is
+        already resolved on its own event. The batched ``fluid-bulk``
+        backend seals the pending burst here (and also auto-seals via a
+        zero-delay event, so *not* calling flush is never incorrect —
+        just a hint the backend exploits)."""
+        ...
+
     # -- receiving ----------------------------------------------------------
 
     def register_handler(
@@ -181,7 +193,7 @@ class Transport(Protocol):
 
 
 #: Recognised transport backend names.
-TRANSPORT_KINDS = ("des", "fluid")
+TRANSPORT_KINDS = ("des", "fluid", "fluid-bulk")
 
 
 def create_transport(
@@ -201,8 +213,10 @@ def create_transport(
     Parameters
     ----------
     kind:
-        ``"des"`` (event-simulated :class:`NetworkStack`) or ``"fluid"``
-        (closed-form :class:`FluidTransport`).
+        ``"des"`` (event-simulated :class:`NetworkStack`), ``"fluid"``
+        (closed-form :class:`FluidTransport`, one event per frame), or
+        ``"fluid-bulk"`` (:class:`BulkFluidTransport`, the same channel
+        model resolved in vectorized macro-event batches).
     sim, deployment, radio:
         Shared constructor arguments; extra ``kwargs`` are forwarded to
         the backend unchanged.
@@ -215,6 +229,10 @@ def create_transport(
         from repro.net.fluid import FluidTransport
 
         return FluidTransport(sim, deployment, radio=radio, **kwargs)
+    if kind == "fluid-bulk":
+        from repro.net.fluid import BulkFluidTransport
+
+        return BulkFluidTransport(sim, deployment, radio=radio, **kwargs)
     raise ValueError(
         f"unknown transport kind {kind!r}; expected one of {TRANSPORT_KINDS}"
     )

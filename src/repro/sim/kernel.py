@@ -192,6 +192,64 @@ class Simulator:
         if queue_len > stats.max_queue_len:
             stats.max_queue_len = queue_len
 
+    def schedule_batch(
+        self,
+        delay: float,
+        resolver: Callable[..., int],
+        args: Tuple[Any, ...] = (),
+    ) -> None:
+        """Schedule a *macro-event*: one heap entry standing in for a
+        whole batch of logical events.
+
+        ``resolver(*args)`` fires once, resolves however many logical
+        events it covers (e.g. every frame due in a transport batch),
+        and **returns that count**. The kernel then credits
+        ``stats.scheduled`` and ``stats.fired`` with the ``count - 1``
+        events the batch absorbed, so ``events_fired`` stays an honest
+        measure of logical work across per-frame and batched backends —
+        a bulk run reports the same order of event counts as the
+        per-frame run it replaces, while paying one heap entry.
+
+        A resolver that returns ``0``, ``1``, or ``None`` credits
+        nothing extra (the macro-event itself is already counted by the
+        run loop). Like :meth:`schedule_callback`, this is
+        fire-and-forget: no handle, no cancellation.
+
+        Raises
+        ------
+        ScheduleInPastError
+            If ``delay`` is negative (NaN is also rejected).
+        """
+        if not delay >= 0:  # single NaN-safe comparison, as in schedule()
+            raise ScheduleInPastError(f"cannot schedule with delay {delay!r}")
+        heapq.heappush(
+            self._heap,
+            (
+                self._now + delay,
+                PRIORITY_NORMAL,
+                next_seq(),
+                None,
+                self._fire_batch,
+                (resolver, args),
+            ),
+        )
+        stats = self.stats
+        stats.scheduled += 1
+        queue_len = len(self._heap)
+        if queue_len > stats.max_queue_len:
+            stats.max_queue_len = queue_len
+
+    def _fire_batch(
+        self, resolver: Callable[..., int], args: Tuple[Any, ...]
+    ) -> None:
+        """Run a macro-event resolver and credit its absorbed events."""
+        count = resolver(*args)
+        if count is not None and count > 1:
+            extra = int(count) - 1
+            stats = self.stats
+            stats.scheduled += extra
+            stats.fired += extra
+
     def schedule_at(
         self,
         time: float,

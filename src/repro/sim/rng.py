@@ -62,6 +62,28 @@ class RngRegistry:
             self._streams[name] = generator
         return generator
 
+    def uniform_block(self, name: str, count: int) -> np.ndarray:
+        """Draw ``count`` uniforms in [0, 1) from stream ``name`` at once.
+
+        Draw-ordering contract (the batched counterpart of the scalar
+        draws the per-frame paths make): a block of ``count`` draws
+        consumes the stream *identically* to ``count`` successive scalar
+        ``.random()`` calls — ``uniform_block(name, n)`` followed by
+        ``uniform_block(name, m)`` yields the same values as
+        ``uniform_block(name, n + m)`` split at ``n``. Callers may
+        therefore regroup consecutive draws freely (per frame, per
+        burst, per resolved batch) without changing the sampled
+        sequence, as long as the total order of draws on the stream is
+        preserved. What *defines* that order is the caller's business
+        and must be documented at the call site — the bulk fluid
+        transport, for instance, pins delay draws to frame seal order
+        and loss draws to (delivery, adjacency) order (see
+        ``docs/TRANSPORT.md``).
+        """
+        if count < 0:
+            raise ValueError(f"uniform_block count must be >= 0, got {count}")
+        return self.stream(name).random(count)
+
     def streams(self, names: Iterable[str]) -> List[np.random.Generator]:
         """Return generators for several names at once."""
         return [self.stream(name) for name in names]

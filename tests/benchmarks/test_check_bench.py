@@ -81,3 +81,33 @@ class TestCompareThresholds:
         baseline = {"a": _entry(1.0)}
         fresh = {"a": _entry(0.2)}
         assert check_bench.compare(baseline, fresh, 2.0, 0.05) == 0
+
+
+class TestPeakRssCeiling:
+    """Baseline entries may carry ``max_peak_rss_mb``; the fresh run's
+    ``peak_rss_mb`` must stay under it (memory blow-up tripwire for the
+    vectorized bulk transport's largest scenarios)."""
+
+    def test_under_ceiling_passes(self, check_bench, capsys):
+        baseline = {"a": {"best_seconds": 1.0, "max_peak_rss_mb": 1000.0}}
+        fresh = {"a": {"best_seconds": 1.0, "peak_rss_mb": 700.0}}
+        assert check_bench.compare(baseline, fresh, 2.0, 0.05) == 0
+
+    def test_over_ceiling_fails(self, check_bench, capsys):
+        baseline = {"a": {"best_seconds": 1.0, "max_peak_rss_mb": 1000.0}}
+        fresh = {"a": {"best_seconds": 1.0, "peak_rss_mb": 1500.0}}
+        assert check_bench.compare(baseline, fresh, 2.0, 0.05) == 1
+        assert "exceeds" in capsys.readouterr().out
+
+    def test_missing_fresh_rss_fails(self, check_bench, capsys):
+        """A ceiling with no fresh measurement means the field was
+        dropped from the bench runner — fail, don't shrug."""
+        baseline = {"a": {"best_seconds": 1.0, "max_peak_rss_mb": 1000.0}}
+        fresh = {"a": {"best_seconds": 1.0}}
+        assert check_bench.compare(baseline, fresh, 2.0, 0.05) == 1
+        assert "no peak_rss_mb" in capsys.readouterr().out
+
+    def test_no_ceiling_ignores_rss(self, check_bench, capsys):
+        baseline = {"a": _entry(1.0)}
+        fresh = {"a": {"best_seconds": 1.0, "peak_rss_mb": 99999.0}}
+        assert check_bench.compare(baseline, fresh, 2.0, 0.05) == 0

@@ -275,6 +275,9 @@ class LoopbackTransport:
     def is_failed(self, node_id: int) -> bool:
         return node_id in self._dead
 
+    def flush(self) -> None:
+        """No-op burst boundary (seam parity with the real backends)."""
+
     def reset_accounting(self) -> None:
         self.counters.reset()
         self.energy.reset()

@@ -48,7 +48,7 @@ def test_loopback_satisfies_transport_protocol():
 def test_real_backends_satisfy_transport_protocol(small_deployment):
     from repro.sim.kernel import Simulator
 
-    for kind in ("des", "fluid"):
+    for kind in ("des", "fluid", "fluid-bulk"):
         stack = create_transport(kind, Simulator(seed=1), small_deployment)
         assert isinstance(stack, Transport), kind
 

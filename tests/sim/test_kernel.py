@@ -186,3 +186,54 @@ class TestScheduleWithArgs:
         sim.schedule(0.5, lambda: fired.append(True))
         sim.run()
         assert fired == [True]
+
+
+class TestScheduleBatch:
+    """Macro-events that stand in for N logical events must keep the
+    scheduled/fired counters honest: one heap entry, N accounted."""
+
+    def test_resolver_count_credits_extra_events(self, sim):
+        def resolver():
+            return 5  # this macro-event stood in for 5 logical events
+
+        sim.schedule_batch(1.0, resolver)
+        sim.run()
+        # 1 scheduled at the heap + 4 extras; fired likewise 1 + 4.
+        assert sim.stats.scheduled == 5
+        assert sim.stats.fired == 5
+
+    def test_resolver_returning_none_or_small_counts_plainly(self, sim):
+        sim.schedule_batch(1.0, lambda: None)
+        sim.schedule_batch(2.0, lambda: 0)
+        sim.schedule_batch(3.0, lambda: 1)
+        sim.run()
+        # No extras: each macro-event counts as exactly one event.
+        assert sim.stats.scheduled == 3
+        assert sim.stats.fired == 3
+
+    def test_resolver_receives_args_and_fires_at_time(self, sim):
+        got = []
+
+        def resolver(tag):
+            got.append((tag, sim.now))
+            return len(got)
+
+        sim.schedule_batch(2.5, resolver, args=("batch",))
+        sim.run()
+        assert got == [("batch", 2.5)]
+
+    def test_nan_delay_rejected(self, sim):
+        import pytest as _pytest
+
+        from repro.errors import SimulationError
+
+        with _pytest.raises(SimulationError):
+            sim.schedule_batch(float("nan"), lambda: None)
+
+    def test_negative_delay_rejected(self, sim):
+        import pytest as _pytest
+
+        from repro.errors import SimulationError
+
+        with _pytest.raises(SimulationError):
+            sim.schedule_batch(-1.0, lambda: None)

@@ -64,3 +64,35 @@ class TestFork:
 
     def test_master_seed_exposed(self):
         assert RngRegistry(99).master_seed == 99
+
+
+class TestUniformBlock:
+    """The vectorized-draw contract: a block of n draws is the same
+    sequence as n scalar draws on the same stream."""
+
+    def test_block_equals_scalar_sequence(self):
+        block = RngRegistry(5).uniform_block("chan", 16)
+        stream = RngRegistry(5).stream("chan")
+        scalars = [stream.random() for _ in range(16)]
+        assert block.tolist() == scalars
+
+    def test_blocks_compose(self):
+        r1 = RngRegistry(5)
+        first = r1.uniform_block("chan", 6).tolist()
+        second = r1.uniform_block("chan", 10).tolist()
+        whole = RngRegistry(5).uniform_block("chan", 16).tolist()
+        assert first + second == whole
+
+    def test_zero_count_is_empty_and_consumes_nothing(self):
+        registry = RngRegistry(5)
+        assert registry.uniform_block("chan", 0).size == 0
+        assert (
+            registry.uniform_block("chan", 4)
+            == RngRegistry(5).uniform_block("chan", 4)
+        ).all()
+
+    def test_negative_count_rejected(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            RngRegistry(5).uniform_block("chan", -1)
