@@ -3,13 +3,20 @@
 Validates the committed benchmark artifacts and guards against gross
 hot-path regressions:
 
-1. strict-parses ``BENCH_e2e.json`` and ``BENCH_substrate.json`` at the
-   repo root (schema, required per-scenario/metric fields, no NaN/Inf);
+1. strict-parses ``BENCH_e2e.json``, ``BENCH_substrate.json`` and
+   ``BENCH_service.json`` at the repo root (schema, required
+   per-scenario/metric fields, no NaN/Inf; service scenarios must report
+   QPS, p50/p95/p99 latency in order, and >= 2 served epochs);
 2. runs the end-to-end benchmark at ``--scale quick`` on the current
    checkout and compares each scenario's best wall-clock against the
    committed quick baseline (``benchmarks/baselines/BENCH_e2e_quick.json``
    — *baselines*, not the gitignored ``results/``) — any scenario slower
-   than ``--max-ratio`` (default 2.0) times the baseline fails the job.
+   than ``--max-ratio`` (default 2.0) times the baseline fails the job;
+3. does the same for the aggregation-service benchmark
+   (``run_service_bench.py`` at quick scale against
+   ``benchmarks/baselines/BENCH_service_quick.json``), so the serving
+   path — gateway batching, live-instance rounds, cache — is wall-clock
+   and peak-RSS gated alongside the protocol hot path.
 
 The 2x tolerance is deliberately loose: CI runners are noisy and shared,
 so this is a tripwire for order-of-magnitude mistakes (an accidentally
@@ -35,7 +42,11 @@ import tempfile
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 E2E_REPORT = REPO_ROOT / "BENCH_e2e.json"
 SUBSTRATE_REPORT = REPO_ROOT / "BENCH_substrate.json"
+SERVICE_REPORT = REPO_ROOT / "BENCH_service.json"
 QUICK_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_e2e_quick.json"
+SERVICE_QUICK_BASELINE = (
+    REPO_ROOT / "benchmarks" / "baselines" / "BENCH_service_quick.json"
+)
 
 #: Required fields in every e2e scenario entry / substrate metric entry.
 E2E_SCENARIO_FIELDS = (
@@ -48,6 +59,21 @@ E2E_SCENARIO_FIELDS = (
     "events_fired",
 )
 SUBSTRATE_METRIC_FIELDS = ("unit", "best_seconds", "ops_per_sec", "repeats")
+#: Required fields in every aggregation-service scenario entry.
+SERVICE_SCENARIO_FIELDS = (
+    "num_nodes",
+    "seed",
+    "clients",
+    "queries_per_client",
+    "best_seconds",
+    "qps",
+    "p50_s",
+    "p95_s",
+    "p99_s",
+    "served",
+    "epochs",
+    "peak_rss_mb",
+)
 
 
 def _reject_constant(token: str) -> None:
@@ -95,14 +121,48 @@ def check_substrate_report(path: pathlib.Path) -> dict:
     return metrics
 
 
-def run_quick_bench(repeats: int) -> dict:
-    """Run the e2e bench at quick scale; returns its scenarios mapping."""
+def check_service_report(path: pathlib.Path) -> dict:
+    """Validate a bench-service report; returns its scenarios mapping.
+
+    Beyond field presence, the structural guarantees the service bench
+    asserts are re-checked here so a hand-edited artifact cannot sneak
+    past: positive wall-clock and QPS, latency percentiles in
+    non-decreasing order, and at least two served epochs (one epoch
+    means the run never exercised the long-lived path).
+    """
+    report = _load_strict(path)
+    if report.get("schema") != "bench-service/1":
+        raise SystemExit(f"{path.name}: unexpected schema {report.get('schema')!r}")
+    scenarios = report.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        raise SystemExit(f"{path.name}: no scenarios")
+    for name, entry in scenarios.items():
+        for field in SERVICE_SCENARIO_FIELDS:
+            if field not in entry:
+                raise SystemExit(f"{path.name}: scenario {name} missing {field!r}")
+        if entry["best_seconds"] <= 0:
+            raise SystemExit(f"{path.name}: scenario {name} has non-positive time")
+        if entry["qps"] <= 0:
+            raise SystemExit(f"{path.name}: scenario {name} has non-positive qps")
+        if not entry["p50_s"] <= entry["p95_s"] <= entry["p99_s"]:
+            raise SystemExit(
+                f"{path.name}: scenario {name} latency percentiles out of order"
+            )
+        if entry["epochs"] < 2:
+            raise SystemExit(
+                f"{path.name}: scenario {name} served fewer than 2 epochs"
+            )
+    return scenarios
+
+
+def _run_quick(script: str, repeats: int, checker) -> dict:
+    """Run a benchmark script at quick scale; validate and return it."""
     with tempfile.TemporaryDirectory() as tmp:
         output = pathlib.Path(tmp) / "bench_quick.json"
         subprocess.run(
             [
                 sys.executable,
-                str(REPO_ROOT / "benchmarks" / "run_e2e_bench.py"),
+                str(REPO_ROOT / "benchmarks" / script),
                 "--scale",
                 "quick",
                 "--repeats",
@@ -113,7 +173,17 @@ def run_quick_bench(repeats: int) -> dict:
             check=True,
             cwd=REPO_ROOT,
         )
-        return check_e2e_report(output)
+        return checker(output)
+
+
+def run_quick_bench(repeats: int) -> dict:
+    """Run the e2e bench at quick scale; returns its scenarios mapping."""
+    return _run_quick("run_e2e_bench.py", repeats, check_e2e_report)
+
+
+def run_quick_service_bench(repeats: int) -> dict:
+    """Run the service bench at quick scale; returns its scenarios."""
+    return _run_quick("run_service_bench.py", repeats, check_service_report)
 
 
 def compare(
@@ -203,9 +273,11 @@ def main(argv=None) -> int:
 
     scenarios = check_e2e_report(E2E_REPORT)
     metrics = check_substrate_report(SUBSTRATE_REPORT)
+    service_scenarios = check_service_report(SERVICE_REPORT)
     print(
         f"{E2E_REPORT.name}: {len(scenarios)} scenarios ok; "
-        f"{SUBSTRATE_REPORT.name}: {len(metrics)} metrics ok"
+        f"{SUBSTRATE_REPORT.name}: {len(metrics)} metrics ok; "
+        f"{SERVICE_REPORT.name}: {len(service_scenarios)} scenarios ok"
     )
 
     if args.skip_run:
@@ -214,10 +286,20 @@ def main(argv=None) -> int:
     baseline = check_e2e_report(QUICK_BASELINE)
     fresh = run_quick_bench(args.repeats)
     regressions = compare(baseline, fresh, args.max_ratio, args.min_slack)
+
+    service_baseline = check_service_report(SERVICE_QUICK_BASELINE)
+    service_fresh = run_quick_service_bench(args.repeats)
+    regressions += compare(
+        service_baseline, service_fresh, args.max_ratio, args.min_slack
+    )
+
     if regressions:
         print(f"{regressions} scenario(s) regressed beyond {args.max_ratio}x")
         return 1
-    print(f"all {len(baseline)} quick scenarios within {args.max_ratio}x of baseline")
+    print(
+        f"all {len(baseline)} quick e2e + {len(service_baseline)} quick "
+        f"service scenarios within {args.max_ratio}x of baseline"
+    )
     return 0
 
 

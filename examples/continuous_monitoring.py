@@ -1,25 +1,34 @@
 #!/usr/bin/env python3
 """Continuous monitoring: many epochs on one network, attack mid-stream.
 
-Runs an environmental-monitoring deployment for ten epochs on a single
-long-lived network (energy accumulates across rounds). Midway, three
-nodes are compromised and tamper whenever the (re-randomized, per-epoch)
-clustering hands them an aggregator role. The log shows the protocol's
-actual guarantee in action:
+Runs an environmental-monitoring deployment for ten epochs as a
+long-lived :class:`repro.service.AggregationService` — one live protocol
+instance for the whole run, so energy, byte counters, and per-phase
+ledgers genuinely accumulate across rounds (the script asserts it).
+Midway, three nodes are compromised and tamper whenever the
+(re-randomized, per-epoch) clustering hands them an aggregator role. The
+log shows the protocol's actual guarantee in action:
 
 * every epoch where tampering **occurred** is rejected and the witnesses
-  name a culprit, which the operator then excludes from the head role;
+  name a culprit, which the service excludes from the head role *on the
+  live instance* (``IcpdaProtocol.exclude_heads`` — no rebuild, no
+  ledger reset);
 * epochs where the compromised nodes drew no aggregation role (or are
   already excluded) proceed normally — a compromised *member* can only
   falsify its own reading, the bounded attack the paper scopes out.
+
+Each epoch serves a batched AVG+VAR query pair: one protocol round
+answers both (composite aggregate), exactly how the asyncio gateway
+coalesces concurrent clients.
 
 Run:  python examples/continuous_monitoring.py
 """
 
 import numpy as np
 
-from repro import IcpdaConfig, IcpdaProtocol, uniform_deployment
+from repro import IcpdaConfig, uniform_deployment
 from repro.attacks.pollution import PollutionAttack, TamperStrategy
+from repro.service import AggregationService, Query
 
 SEED = 33
 NUM_NODES = 180
@@ -62,46 +71,58 @@ def main() -> None:
     print(f"{NUM_NODES - 1} sensors; nodes {sorted(compromised)} turn "
           f"malicious at epoch {ATTACK_FROM_EPOCH}\n")
 
-    config = IcpdaConfig()
-    protocol = IcpdaProtocol(deployment, config, seed=SEED, attack_plan=attack)
-    protocol.setup()
-
-    print(f"{'epoch':>5}  {'verdict':>17}  {'value':>9}  {'part':>5}  "
-          f"{'tampered?':>9}  note")
-    violations = []
-    excluded: list = []
-    for epoch in range(1, EPOCHS + 1):
-        attack.active = epoch >= ATTACK_FROM_EPOCH
-        tampers_before = attack.inner.tampers_performed
-        readings = {
+    def readings_provider(epoch: int):
+        return {
             i: float(20.0 + 5.0 * np.sin(epoch / 2.0) + rng.normal(0, 1.0))
             for i in range(1, NUM_NODES)
         }
-        result = protocol.run_round(readings, round_id=epoch)
+
+    service = AggregationService(
+        deployment,
+        IcpdaConfig(),
+        seed=SEED,
+        readings_provider=readings_provider,
+        attack_plan=attack,
+        auto_exclude=True,
+    )
+    service.start()
+    protocol = service.protocol  # one live instance, never replaced
+
+    print(f"{'epoch':>5}  {'verdict':>17}  {'avg':>7}  {'part':>5}  "
+          f"{'energy J':>9}  {'tampered?':>9}  note")
+    violations = []
+    energy_trace = []
+    for epoch in range(1, EPOCHS + 1):
+        attack.active = epoch >= ATTACK_FROM_EPOCH
+        tampers_before = attack.inner.tampers_performed
+        answers = service.serve_batch(("avg", "var"))
+        report = service.history[-1]
         acted = attack.inner.tampers_performed > tampers_before
         note = ""
-        if result.detected_pollution:
-            suspect = result.top_suspect()
-            if suspect is not None:
-                note = f"excluding node {suspect}"
-                excluded.append(suspect)
-                config = config.with_excluded_heads((suspect,))
-                protocol = IcpdaProtocol(
-                    deployment, config, seed=SEED, attack_plan=attack
-                )
-                protocol.setup()
-        if acted and result.verdict.accepted:
+        if report.newly_excluded:
+            note = f"excluding node {report.newly_excluded[0]} (live)"
+        if acted and report.result.verdict.accepted:
             violations.append(epoch)
             note = "!! tamper accepted"
-        value = f"{result.value:9.1f}" if result.value is not None else "        -"
-        print(f"{epoch:>5}  {result.verdict.value:>17}  {value}  "
-              f"{result.participation:5.2f}  {str(acted):>9}  {note}")
+        avg = answers[Query("avg")]
+        shown = f"{avg.value:7.1f}" if avg.value is not None else "      -"
+        energy = service.snapshot()["total_energy_j"]
+        energy_trace.append(energy)
+        print(f"{epoch:>5}  {report.result.verdict.value:>17}  {shown}  "
+              f"{avg.participation:5.2f}  {energy:9.2f}  {str(acted):>9}  {note}")
 
-    print(f"\nExcluded aggregators: {sorted(set(excluded))} "
+    excluded = set(service.excluded)
+    print(f"\nExcluded aggregators: {sorted(excluded)} "
           f"(compromised: {sorted(compromised)})")
+
+    # The long-lived-service contract, asserted:
+    assert service.protocol is protocol, "protocol instance was rebuilt"
+    assert all(b > a for a, b in zip(energy_trace, energy_trace[1:])), \
+        "energy stopped accumulating across epochs"
     assert not violations, f"tampered epochs accepted: {violations}"
-    assert set(excluded) <= compromised, "only real attackers were excluded"
-    print("OK: every tampered epoch was rejected; monitoring continued.")
+    assert excluded <= compromised, "only real attackers may be excluded"
+    print("OK: every tampered epoch was rejected; exclusions were applied "
+          "in place; energy accumulated across all epochs.")
 
 
 if __name__ == "__main__":

@@ -114,6 +114,7 @@ class IcpdaProtocol:
             linksec if linksec is not None else LinkSecurity(PairwiseKeyScheme())
         )
         self.attack_plan = attack_plan
+        self._aggregate_overridden = aggregate is not None
         if aggregate is not None:
             self.aggregate: AdditiveAggregate = aggregate
         else:
@@ -170,6 +171,63 @@ class IcpdaProtocol:
         the same network — the reset half of accumulate-with-reset)."""
         self.phase_bytes.clear()
 
+    # -- live reconfiguration ----------------------------------------------------
+
+    def apply_config(self, config: IcpdaConfig) -> None:
+        """Swap the protocol tunables on the *live* instance.
+
+        The point of this method is what it does **not** do: it keeps the
+        simulator clock, RNG streams, network stack, energy ledger, byte
+        counters, phase-byte ledger, and the Phase-I tree exactly as they
+        are. Long-lived deployments (the continuous-monitoring example,
+        :mod:`repro.service`) reconfigure between rounds — most commonly
+        to bar a localized polluter from the head role — and must never
+        pay for, or be reset by, a full protocol rebuild. The new config
+        takes effect at the next :meth:`run_round` (clustering re-reads
+        it every round).
+
+        If ``aggregate_name`` or ``fixed_point_scale`` changed, the
+        aggregate is rebuilt to match — unless a custom ``aggregate``
+        instance was supplied (at construction or via
+        :meth:`set_aggregate`), which always wins.
+        """
+        if not isinstance(config, IcpdaConfig):
+            raise ProtocolError(
+                f"apply_config needs an IcpdaConfig, got {type(config).__name__}"
+            )
+        rebuild_aggregate = not self._aggregate_overridden and (
+            config.aggregate_name != self.config.aggregate_name
+            or config.fixed_point_scale != self.config.fixed_point_scale
+        )
+        self.config = config
+        if rebuild_aggregate:
+            codec = FixedPointCodec(scale=config.fixed_point_scale)
+            self.aggregate = make_aggregate(config.aggregate_name, codec)
+
+    def exclude_heads(self, nodes) -> IcpdaConfig:
+        """Bar ``nodes`` from the aggregator role on the live instance
+        (merged with any existing exclusions); returns the new config.
+
+        This is the operator's response to a localized polluter. It is
+        an in-place :meth:`apply_config` — accumulated energy, bytes,
+        per-phase ledgers and RNG streams all survive, so cross-epoch
+        accounting stays truthful.
+        """
+        self.apply_config(self.config.with_excluded_heads(tuple(nodes)))
+        return self.config
+
+    def set_aggregate(self, aggregate: AdditiveAggregate) -> None:
+        """Install a custom aggregate on the live instance.
+
+        Takes effect at the next :meth:`run_round`. Used by the service
+        layer to carry several batched queries through one round as a
+        :class:`~repro.aggregation.functions.CompositeAggregate`. Once
+        set, :meth:`apply_config` no longer rebuilds the aggregate from
+        ``aggregate_name``.
+        """
+        self.aggregate = aggregate
+        self._aggregate_overridden = True
+
     # -- rounds -----------------------------------------------------------------
 
     def run_round(self, readings: Dict[int, float], round_id: int = 0) -> RoundResult:
@@ -181,6 +239,15 @@ class IcpdaProtocol:
             sensor id -> raw reading. The base station must not appear.
         round_id:
             Distinguishes successive rounds (re-randomizes clustering).
+
+        Accounting: each phase's byte cost is *added* to
+        ``phase_bytes["clustering"/"exchange"/"report"]`` under the same
+        accumulate-with-reset contract as ``phase_bytes["tree"]`` —
+        multi-epoch callers keep the full per-phase history and slice
+        accounting periods with :meth:`reset_phase_bytes`. (Historically
+        these three keys were overwritten every round while the tree key
+        accumulated, so long-lived deployments silently lost all but the
+        last round's per-phase costs.)
 
         Raises
         ------
@@ -208,7 +275,9 @@ class IcpdaProtocol:
             )
             clustering = formation.run()
         self.last_clustering = clustering
-        self.phase_bytes["clustering"] = counters.total_bytes - before
+        self.phase_bytes["clustering"] = (
+            self.phase_bytes.get("clustering", 0) + counters.total_bytes - before
+        )
 
         participating = self._participating_heads(clustering)
 
@@ -228,7 +297,9 @@ class IcpdaProtocol:
             )
             exchange = exchange_phase.run()
         self.last_exchange = exchange
-        self.phase_bytes["exchange"] = counters.total_bytes - before
+        self.phase_bytes["exchange"] = (
+            self.phase_bytes.get("exchange", 0) + counters.total_bytes - before
+        )
 
         # Phase IV: witnessed report aggregation + verdict.
         before = counters.total_bytes
@@ -245,7 +316,9 @@ class IcpdaProtocol:
             )
             true_value = self.aggregate.true_value(list(readings.values()))
             result = report_phase.run(true_value, total_sensors=len(readings))
-        self.phase_bytes["report"] = counters.total_bytes - before
+        self.phase_bytes["report"] = (
+            self.phase_bytes.get("report", 0) + counters.total_bytes - before
+        )
         return result
 
     # -- helpers -----------------------------------------------------------------

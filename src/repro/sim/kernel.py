@@ -373,6 +373,27 @@ class Simulator:
         self.run()
         return self.stats.fired - before
 
+    def discard_pending(self) -> int:
+        """Drop every scheduled event without firing it; returns the count.
+
+        The quarantine primitive for long-lived callers: when an
+        exception aborts a protocol phase mid-window, the heap still
+        holds that phase's unfired events, and they would otherwise
+        detonate inside the *next* round's ``run(until=...)`` window
+        (with the wrong handlers and the wrong aggregate). The
+        aggregation service calls this after a failed round so the live
+        kernel starts the next epoch clean. Dropped events are counted
+        as cancelled; the clock does not move.
+        """
+        if self._running:
+            raise KernelStateError(
+                "cannot discard events from inside an event callback"
+            )
+        dropped = len(self._heap)
+        self._heap.clear()
+        self.stats.cancelled += dropped
+        return dropped
+
     def advance(self, delta: float) -> None:
         """Advance the clock by ``delta`` seconds, firing due events."""
         if math.isnan(delta) or delta < 0:

@@ -9,6 +9,7 @@ ungated) must both fail, not just the first.
 """
 
 import importlib.util
+import json
 import pathlib
 import sys
 
@@ -111,3 +112,73 @@ class TestPeakRssCeiling:
         baseline = {"a": _entry(1.0)}
         fresh = {"a": {"best_seconds": 1.0, "peak_rss_mb": 99999.0}}
         assert check_bench.compare(baseline, fresh, 2.0, 0.05) == 0
+
+
+def _service_entry(**overrides):
+    entry = {
+        "num_nodes": 120,
+        "seed": 21,
+        "clients": 8,
+        "queries_per_client": 4,
+        "best_seconds": 0.4,
+        "qps": 80.0,
+        "p50_s": 0.1,
+        "p95_s": 0.12,
+        "p99_s": 0.13,
+        "served": 32,
+        "epochs": 3,
+        "peak_rss_mb": 60.0,
+    }
+    entry.update(overrides)
+    return entry
+
+
+class TestCheckServiceReport:
+    """Structural validation of ``BENCH_service.json`` — the fields the
+    quick-gate comparison and the CI smoke job rely on."""
+
+    def _write(self, tmp_path, scenarios, schema="bench-service/1"):
+        path = tmp_path / "BENCH_service.json"
+        path.write_text(
+            json.dumps({"schema": schema, "scenarios": scenarios})
+        )
+        return path
+
+    def test_valid_report_returns_scenarios(self, check_bench, tmp_path):
+        path = self._write(tmp_path, {"s": _service_entry()})
+        scenarios = check_bench.check_service_report(path)
+        assert set(scenarios) == {"s"}
+
+    def test_wrong_schema_rejected(self, check_bench, tmp_path):
+        path = self._write(tmp_path, {"s": _service_entry()}, schema="bench-e2e/1")
+        with pytest.raises(SystemExit, match="schema"):
+            check_bench.check_service_report(path)
+
+    def test_missing_field_rejected(self, check_bench, tmp_path):
+        entry = _service_entry()
+        del entry["p95_s"]
+        path = self._write(tmp_path, {"s": entry})
+        with pytest.raises(SystemExit, match="p95_s"):
+            check_bench.check_service_report(path)
+
+    def test_unordered_percentiles_rejected(self, check_bench, tmp_path):
+        path = self._write(
+            tmp_path, {"s": _service_entry(p50_s=0.2, p95_s=0.1)}
+        )
+        with pytest.raises(SystemExit, match="percentiles"):
+            check_bench.check_service_report(path)
+
+    def test_single_epoch_rejected(self, check_bench, tmp_path):
+        """One epoch means the run never exercised the long-lived path
+        the service mode exists for — the report must not pass."""
+        path = self._write(tmp_path, {"s": _service_entry(epochs=1)})
+        with pytest.raises(SystemExit, match="epochs"):
+            check_bench.check_service_report(path)
+
+    def test_nan_rejected(self, check_bench, tmp_path):
+        path = tmp_path / "BENCH_service.json"
+        path.write_text(
+            '{"schema": "bench-service/1", "scenarios": {"s": {"qps": NaN}}}'
+        )
+        with pytest.raises(SystemExit):
+            check_bench.check_service_report(path)

@@ -1,12 +1,19 @@
 """Regression tests for the accounting bugs fixed alongside the
-transport seam refactor.
+transport seam refactor (plus the per-round phase keys fixed with the
+service mode).
 
-Three historical bugs, one test class each:
+Four historical bugs, one test class each:
 
 * ``phase_bytes["tree"]`` was *overwritten* by :meth:`rebuild_tree`, so
   lifetime experiments that re-flooded after node deaths silently lost
   the earlier floods' overhead. It now accumulates, with
   :meth:`reset_phase_bytes` as the explicit period boundary.
+* The per-round keys (``clustering``/``exchange``/``report``) had the
+  *same* bug one layer up: ``run_round`` overwrote them every epoch
+  while the tree key accumulated, so multi-epoch callers (the
+  continuous-monitoring example, the service mode) paired a lifetime
+  tree ledger with single-round phase ledgers. All four keys now follow
+  the documented accumulate-with-reset contract.
 * ``_participating_heads`` dropped the base-station cluster when
   ``restrict_to_clusters`` named only remote heads, unanchoring the
   verdict's census denominator during localization subsets.
@@ -69,6 +76,46 @@ class TestTreeBytesAccumulateWithReset:
         assert 0 < rebuild_cost
         protocol.rebuild_tree()
         assert protocol.phase_bytes["tree"] > rebuild_cost
+
+
+class TestRoundPhaseBytesAccumulateWithReset:
+    def test_round_phase_keys_accumulate_across_epochs(self):
+        protocol = make_protocol()
+        protocol.setup()
+        readings = {i: 1.0 for i in range(1, 30)}
+        protocol.run_round(readings, round_id=1)
+        first = {
+            phase: protocol.phase_bytes[phase]
+            for phase in ("clustering", "exchange", "report")
+        }
+        assert all(v > 0 for v in first.values())
+
+        protocol.run_round(readings, round_id=2)
+        # The regression: these keys were overwritten per round, so after
+        # two epochs each held (roughly) one round's cost.
+        for phase, first_round in first.items():
+            assert protocol.phase_bytes[phase] > first_round, phase
+
+    def test_ledger_total_matches_stack_counters(self):
+        protocol = make_protocol()
+        protocol.setup()
+        readings = {i: 1.0 for i in range(1, 30)}
+        for round_id in (1, 2, 3):
+            protocol.run_round(readings, round_id=round_id)
+        # With every key accumulating, the ledger partitions the stack's
+        # lifetime byte counter exactly — the consistency the service's
+        # snapshot() exposes to operators.
+        assert sum(protocol.phase_bytes.values()) == protocol.total_bytes()
+
+    def test_reset_slices_round_phases_too(self):
+        protocol = make_protocol()
+        protocol.setup()
+        readings = {i: 1.0 for i in range(1, 30)}
+        protocol.run_round(readings, round_id=1)
+        protocol.reset_phase_bytes()
+        protocol.run_round(readings, round_id=2)
+        assert set(protocol.phase_bytes) == {"clustering", "exchange", "report"}
+        assert sum(protocol.phase_bytes.values()) < protocol.total_bytes()
 
 
 class TestParticipatingHeadsSemantics:

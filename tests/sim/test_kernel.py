@@ -138,6 +138,41 @@ class TestStepAndDrain:
         with pytest.raises(KernelStateError):
             sim.advance(-1.0)
 
+    def test_discard_pending_drops_everything_unfired(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.schedule(3.0, fired.append, args=(3,))
+        assert sim.discard_pending() == 3
+        assert sim.pending_events == 0
+        sim.run()
+        assert fired == []
+        assert sim.stats.cancelled == 3
+        assert sim.stats.fired == 0
+
+    def test_discard_pending_keeps_clock_and_future_scheduling(self, sim):
+        sim.advance(5.0)
+        sim.schedule(1.0, lambda: None)
+        sim.discard_pending()
+        assert sim.now == 5.0
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("after"))
+        sim.run()
+        assert fired == ["after"]
+
+    def test_discard_pending_refused_mid_callback(self, sim):
+        errors = []
+
+        def inside():
+            try:
+                sim.discard_pending()
+            except KernelStateError as error:
+                errors.append(error)
+
+        sim.schedule(1.0, inside)
+        sim.run()
+        assert len(errors) == 1
+
 
 class TestStats:
     def test_counters_track_activity(self, sim):
