@@ -6,7 +6,10 @@ hot-path regressions:
 1. strict-parses ``BENCH_e2e.json``, ``BENCH_substrate.json`` and
    ``BENCH_service.json`` at the repo root (schema, required
    per-scenario/metric fields, no NaN/Inf; service scenarios must report
-   QPS, p50/p95/p99 latency in order, and >= 2 served epochs);
+   QPS, p50/p95/p99 latency in order, and >= 2 served epochs; e2e
+   scenarios reporting ``phase_seconds`` must have the phases sum to
+   roughly ``best_seconds`` — catching unclosed profiler spans and
+   double-counted phases);
 2. runs the end-to-end benchmark at ``--scale quick`` on the current
    checkout and compares each scenario's best wall-clock against the
    committed quick baseline (``benchmarks/baselines/BENCH_e2e_quick.json``
@@ -101,6 +104,26 @@ def check_e2e_report(path: pathlib.Path) -> dict:
                 raise SystemExit(f"{path.name}: scenario {name} missing {field!r}")
         if entry["best_seconds"] <= 0:
             raise SystemExit(f"{path.name}: scenario {name} has non-positive time")
+        phases = entry.get("phase_seconds")
+        if phases is not None:
+            # phase_seconds comes from the same pass best_seconds does,
+            # and the phases are disjoint spans inside the timed region:
+            # their sum can only exceed best_seconds if a phase was
+            # double-counted, and a sum far below it means a span never
+            # closed (or attribution silently moved out of the phases).
+            total = sum(phases.values())
+            best = entry["best_seconds"]
+            if total > best * 1.02 + 0.02:
+                raise SystemExit(
+                    f"{path.name}: scenario {name} phase_seconds sum "
+                    f"{total:.3f}s exceeds best_seconds {best:.3f}s"
+                )
+            if total < best * 0.5 - 0.02:
+                raise SystemExit(
+                    f"{path.name}: scenario {name} phase_seconds sum "
+                    f"{total:.3f}s is under half of best_seconds "
+                    f"{best:.3f}s (unclosed profiler span?)"
+                )
     return scenarios
 
 
@@ -204,11 +227,11 @@ def compare(
     gate fails instead of shrugging.
 
     Baseline entries may carry ``max_peak_rss_mb``: a ceiling on the
-    fresh run's ``peak_rss_mb`` for that scenario. The counter is the
-    process high-water RSS (monotonic across scenarios), so only the
-    largest scenarios carry meaningful ceilings — the gate exists to
-    catch a memory blow-up in the vectorized bulk path, where an
-    accidental dense N x N intermediate multiplies the footprint.
+    fresh run's ``peak_rss_mb`` for that scenario. Scenarios run in
+    isolated subprocesses, so the counter is a true per-scenario
+    high-water mark — the gate exists to catch a memory blow-up in the
+    vectorized bulk path, where an accidental dense N x N intermediate
+    multiplies the footprint.
     """
     regressions = 0
     for name in sorted(fresh.keys() - baseline.keys()):

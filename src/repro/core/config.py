@@ -81,6 +81,20 @@ class IcpdaConfig:
     #: draws move to a dedicated RNG stream (see docs/PERF.md).
     share_backend: str = "scalar"
 
+    # Cluster formation + report backends
+    #: "scalar": per-node event-driven clustering and report phases,
+    #: byte-identical to the historical (golden-traced) behaviour.
+    #: "batched": the same elections, join resolution, merge waves,
+    #: member lists, census, report absorption, witnessing and verdict
+    #: computed as array/loop operations over all nodes at once under a
+    #: reliable-control-plane assumption, with the resulting frames
+    #: replayed through the Transport seam so byte/energy accounting
+    #: stays truthful. On a lossless transport the batched outcomes
+    #: (clusters, verdicts, aggregates) are *equal* to scalar; on lossy
+    #: transports only seeded determinism is guaranteed (same seeds ->
+    #: same clusters, verdicts and aggregates; see docs/PERF.md).
+    clustering_backend: str = "scalar"
+
     # Integrity
     #: "witnessed": the full peer-monitoring layer (itemized reports,
     #: F-set publication, witnesses, alarms, Th verdict).
@@ -147,6 +161,11 @@ class IcpdaConfig:
             raise ConfigError(
                 f"share_backend must be 'scalar' or 'batched', "
                 f"got {self.share_backend!r}"
+            )
+        if self.clustering_backend not in ("scalar", "batched"):
+            raise ConfigError(
+                f"clustering_backend must be 'scalar' or 'batched', "
+                f"got {self.clustering_backend!r}"
             )
         if self.count_threshold < 0:
             raise ConfigError(

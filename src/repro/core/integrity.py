@@ -202,14 +202,27 @@ class ReportAndVerdictPhase:
         # witness_fraction; bystander watchdogs use the same flags.
         self._witness_flags: Dict[int, bool] = {}
         witnessing = config.integrity_mode == "witnessed"
-        for node in stack.node_ids():
-            colluding = attack_plan is not None and self._plan_colludes(node)
-            self._witness_flags[node] = (
-                witnessing
-                and node != bs
-                and not colluding
-                and float(self._rng.random()) < config.witness_fraction
-            )
+        if witnessing and attack_plan is None:
+            # One vectorized draw. Generator.random(n) emits the exact
+            # doubles n sequential random() calls would, so the stream
+            # position — and every later draw — is unchanged (pinned by
+            # a test in tests/core/test_report_batched.py).
+            others = [n for n in stack.node_ids() if n != bs]
+            draws = self._rng.random(len(others))
+            self._witness_flags = {
+                node: bool(draw < config.witness_fraction)
+                for node, draw in zip(others, draws)
+            }
+            self._witness_flags[bs] = False
+        else:
+            for node in stack.node_ids():
+                colluding = attack_plan is not None and self._plan_colludes(node)
+                self._witness_flags[node] = (
+                    witnessing
+                    and node != bs
+                    and not colluding
+                    and float(self._rng.random()) < config.witness_fraction
+                )
         self._member_sums = dict(exchange.witness_sums)
         self._head_of: Dict[int, int] = {}
         for head, cluster in clustering.clusters.items():

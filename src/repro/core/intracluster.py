@@ -200,10 +200,10 @@ class IntraClusterExchange:
         cfg = self._config
         t0 = sim.now
 
-        # Pass 1: per-cluster participant lists plus a global claim count,
-        # so membership conflicts are resolved symmetrically below.
+        # Pass 1: per-cluster participant lists (the claim census over
+        # them is taken vectorized below, so membership conflicts are
+        # resolved symmetrically).
         candidates: List[Tuple[int, List[int]]] = []
-        claims: Dict[int, int] = {}
         for cluster in self._clustering.clusters.values():
             if not cluster.active:
                 continue
@@ -222,16 +222,23 @@ class IntraClusterExchange:
                 )
                 continue
             candidates.append((cluster.head, participants))
-            for member in participants:
-                claims[member] = claims.get(member, 0) + 1
 
         # Pass 2: defense in depth — a member claimed by two clusters
         # would cross-contaminate both share matrices. The formation
         # layer prevents this; if it ever leaks through, *every* cluster
         # holding a contested member aborts (symmetric and independent of
         # cluster iteration order), rather than the first-iterated one
-        # silently proceeding with the contested member.
-        contested = {member for member, count in claims.items() if count > 1}
+        # silently proceeding with the contested member. One np.unique
+        # over the concatenated participant lists replaces the per-member
+        # Python claim counting at 100k nodes.
+        if candidates:
+            all_claims = np.concatenate(
+                [np.asarray(p, dtype=np.int64) for _, p in candidates]
+            )
+            uniq, counts = np.unique(all_claims, return_counts=True)
+            contested = set(uniq[counts > 1].tolist())
+        else:
+            contested = set()
         for head, participants in candidates:
             if contested and any(m in contested for m in participants):
                 self.result.states[head] = ClusterExchangeState(

@@ -34,7 +34,9 @@ class LocalizationResult:
     suspects:
         Cluster heads the search narrowed down to (length 1 on success).
     probes_used:
-        Restricted rounds executed.
+        Restricted rounds actually executed (noisy mode stops voting on
+        a subset as soon as a majority is decided, so this can be less
+        than ``votes_per_probe`` per halving).
     converged:
         True when a single suspect was isolated.
     history:
@@ -80,9 +82,19 @@ def localize_polluter(
             f"votes_per_probe must be a positive odd number, got {votes_per_probe}"
         )
 
-    def vote(subset: Tuple[int, ...]) -> bool:
-        positive = sum(1 for _ in range(votes_per_probe) if probe(subset))
-        return positive * 2 > votes_per_probe
+    def vote(subset: Tuple[int, ...]) -> Tuple[bool, int]:
+        # Early-exit majority: stop as soon as either side has the
+        # votes. Each probe is a full restricted aggregation round, so
+        # with a clean detection channel this halves the cost of noisy
+        # mode (ceil(v/2) rounds instead of v per subset).
+        needed = votes_per_probe // 2 + 1
+        positive = negative = 0
+        while positive < needed and negative < needed:
+            if probe(subset):
+                positive += 1
+            else:
+                negative += 1
+        return positive >= needed, positive + negative
 
     candidates: List[int] = sorted(cluster_heads)
     history: List[Tuple[Tuple[int, ...], bool]] = []
@@ -91,8 +103,8 @@ def localize_polluter(
     while len(candidates) > 1 and probes < max_probes:
         half = len(candidates) // 2
         left = tuple(candidates[:half])
-        probes += votes_per_probe
-        detected_left = vote(left)
+        detected_left, executed = vote(left)
+        probes += executed
         history.append((left, detected_left))
         if detected_left:
             candidates = list(left)

@@ -31,9 +31,11 @@ from repro.aggregation.functions import (
 )
 from repro.aggregation.tree import TreeBuildResult, build_aggregation_tree
 from repro.core.clustering import ClusterFormation, ClusteringResult
+from repro.core.clustering_batched import BatchedClusterFormation
 from repro.core.config import IcpdaConfig
 from repro.core.field import DEFAULT_FIELD, PrimeField
 from repro.core.integrity import AttackPlan, ReportAndVerdictPhase
+from repro.core.integrity_batched import BatchedReportAndVerdictPhase
 from repro.core.intracluster import ExchangeResult, IntraClusterExchange
 from repro.core.results import RoundResult
 from repro.crypto.keys import PairwiseKeyScheme
@@ -270,7 +272,12 @@ class IcpdaProtocol:
         # Phase II: cluster formation.
         before = counters.total_bytes
         with self.profiler.phase("clustering"):
-            formation = ClusterFormation(
+            formation_cls = (
+                BatchedClusterFormation
+                if self.config.clustering_backend == "batched"
+                else ClusterFormation
+            )
+            formation = formation_cls(
                 self.stack, self.tree, self.config, round_id
             )
             clustering = formation.run()
@@ -304,7 +311,12 @@ class IcpdaProtocol:
         # Phase IV: witnessed report aggregation + verdict.
         before = counters.total_bytes
         with self.profiler.phase("report"):
-            report_phase = ReportAndVerdictPhase(
+            report_cls = (
+                BatchedReportAndVerdictPhase
+                if self.config.clustering_backend == "batched"
+                else ReportAndVerdictPhase
+            )
+            report_phase = report_cls(
                 self.stack,
                 self.tree,
                 clustering,

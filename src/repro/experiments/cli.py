@@ -208,6 +208,20 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--clustering-backend",
+        choices=("scalar", "batched"),
+        default="scalar",
+        help=(
+            "clustering + report phase engines for every cell (default: "
+            "scalar). 'batched' computes cluster formation and the "
+            "report/verdict wave in-process and replays the frames "
+            "through the transport (equal outcomes on lossless "
+            "transports, seeded determinism otherwise, see "
+            "docs/PERF.md); like --share-backend it enters each cell's "
+            "cache key via the spec context."
+        ),
+    )
+    parser.add_argument(
         "--cache-dir",
         type=pathlib.Path,
         default=None,
@@ -293,6 +307,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 if isinstance(value, IcpdaConfig):
                     spec.context[key] = replace(
                         value, share_backend=args.share_backend
+                    )
+        if args.clustering_backend != "scalar":
+            spec.context["clustering_backend"] = args.clustering_backend
+            for key, value in spec.context.items():
+                if isinstance(value, IcpdaConfig):
+                    spec.context[key] = replace(
+                        value, clustering_backend=args.clustering_backend
                     )
         report = execute(
             spec,

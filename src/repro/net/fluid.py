@@ -342,6 +342,27 @@ class FluidTransport:
         self._transmit(packet)
         return packet
 
+    def send_many(
+        self,
+        kind: str,
+        src: Sequence[int],
+        dst: Sequence[int],
+        size_bytes: Sequence[int],
+    ) -> None:
+        """Submit many pre-sized same-kind frames at the current instant.
+
+        Row ``i`` is one frame from ``src[i]`` to ``dst[i]`` (or a local
+        broadcast when ``dst[i]`` is :data:`BROADCAST`) of
+        ``size_bytes[i]`` bytes, payload-free — the batch replay
+        equivalent of one :meth:`send`/:meth:`broadcast` per row. The
+        per-frame backends deliver exactly that loop; the bulk backend
+        overrides this with a vectorized seal."""
+        for row_src, row_dst, row_size in zip(src, dst, size_bytes):
+            if row_dst == BROADCAST:
+                self.broadcast(row_src, kind, None, size_bytes=row_size)
+            else:
+                self.send(row_src, row_dst, kind, None, size_bytes=row_size)
+
     def _transmit(self, packet: Packet) -> None:
         src = packet.src
         if src not in self.adjacency:
@@ -704,12 +725,27 @@ class BulkFluidTransport(FluidTransport):
         self._edge_loss_free = 1.0 - keep_channel
         # Burst (unsealed frames, each with its transmit instant) and
         # batch (sealed frames awaiting their resolve tick), column-wise.
+        # Kind and size ride their own columns so :meth:`send_many` can
+        # queue payload-free frames without materializing Packets; the
+        # packet column holds ``None`` for those, filled lazily iff a
+        # handler or listener actually needs the object at dispatch.
         self._burst: List[Tuple[Packet, float, float]] = []
         self._q_time: List[float] = []
         self._q_src: List[int] = []
         self._q_dst: List[int] = []
         self._q_contended: List[bool] = []
-        self._q_packet: List[Packet] = []
+        self._q_kind: List[str] = []
+        self._q_size: List[int] = []
+        self._q_packet: List[Optional[Packet]] = []
+        # Node id -> contention cell, as an array for the bulk path, and
+        # the set of kinds with at least one registered handler (used to
+        # skip the dispatch pass for pure-accounting replay frames).
+        self._cell_of = np.fromiter(
+            (self._tx_cell[node] for node in range(num_nodes)),
+            dtype=np.int64,
+            count=num_nodes,
+        )
+        self._handled_kinds: Set[str] = set()
         self._flush_horizon = -math.inf
         self._tick_s = self.params.bulk_tick_s
         # Bulk contention state: same radio-range grid cells as the
@@ -797,6 +833,8 @@ class BulkFluidTransport(FluidTransport):
         q_src = self._q_src
         q_dst = self._q_dst
         q_contended = self._q_contended
+        q_kind = self._q_kind
+        q_size = self._q_size
         q_packet = self._q_packet
         # One vectorized jitter block per seal; draw order == frame
         # emission order (the documented contract, see uniform_block).
@@ -820,8 +858,102 @@ class BulkFluidTransport(FluidTransport):
             q_src.append(src)
             q_dst.append(packet.dst)
             q_contended.append(contended)
+            q_kind.append(packet.kind)
+            q_size.append(size)
             q_packet.append(packet)
         self.stats.transmissions += count
+
+    def send_many(
+        self,
+        kind: str,
+        src: Sequence[int],
+        dst: Sequence[int],
+        size_bytes: Sequence[int],
+    ) -> None:
+        """Vectorized bulk submission: seal ``len(src)`` payload-free
+        frames keyed up at the current instant in one pass.
+
+        Accounting-equivalent to one :meth:`send`/:meth:`broadcast` per
+        row followed by :meth:`flush` — same tx counters, energy, banked
+        rx bytes, contention gating, and resolve-tick scheduling — but
+        paying one counter/energy touch per distinct sender and one
+        jitter block for the whole batch instead of per-frame Python.
+        Any unsealed per-frame burst is sealed first so the
+        ``fluid.bulk.delay`` stream stays in frame emission order;
+        within the batch, draws follow row order."""
+        if self._burst:
+            self._seal_burst()
+        src_arr = np.ascontiguousarray(src, dtype=np.int64)
+        dst_arr = np.ascontiguousarray(dst, dtype=np.int64)
+        sizes = np.ascontiguousarray(size_bytes, dtype=np.int64)
+        if src_arr.size == 0:
+            return
+        if int(src_arr.min()) < 0 or int(src_arr.max()) >= self._num_nodes:
+            raise SimulationError("send_many: unknown source node in batch")
+        if self._dead:
+            alive = ~self._dead_mask[src_arr]
+            if not bool(alive.all()):
+                # Same contract as the per-frame paths: dead radios key
+                # up nothing, uncounted, and consume no jitter draw.
+                if self.sim.trace.on:
+                    for node in src_arr[~alive].tolist():
+                        self.sim.trace.emit(
+                            "fluid.dead_tx",
+                            "dead node %(node)s asked to send %(kind)s",
+                            node=node,
+                            kind=kind,
+                        )
+                src_arr = src_arr[alive]
+                dst_arr = dst_arr[alive]
+                sizes = sizes[alive]
+                if src_arr.size == 0:
+                    return
+        count = int(src_arr.size)
+        now = self.sim.now
+        senders, inverse = np.unique(src_arr, return_inverse=True)
+        messages = np.bincount(inverse)
+        byte_sums = np.bincount(inverse, weights=sizes.astype(np.float64))
+        record_tx_many = self.counters.record_tx_many
+        account_tx = self.energy.account_tx
+        pending = self._pending_rx
+        for position, node in enumerate(senders.tolist()):
+            node_bytes = int(byte_sums[position])
+            record_tx_many(node, kind, int(messages[position]), node_bytes)
+            account_tx(node, node_bytes)
+            pending[node] = pending.get(node, 0) + node_bytes
+        self.stats.transmissions += count
+        radio = self.radio
+        airtime = radio.turnaround_s + (8.0 * sizes) / radio.bitrate_bps
+        jitter_s = self.params.access_jitter_s
+        coins = self.sim.rng.uniform_block("fluid.bulk.delay", count)
+        keyup = now + coins * jitter_s
+        end = keyup + airtime
+        # Per-cell contention gate in row order — the busy horizon is
+        # loop-carried state per cell, so this stays a (tight) loop.
+        busy = self._busy_bulk
+        cells = self._cell_of[src_arr].tolist()
+        keyup_list = keyup.tolist()
+        end_list = end.tolist()
+        contended = [False] * count
+        for position, cell in enumerate(cells):
+            horizon = busy[cell]
+            if keyup_list[position] < horizon:
+                contended[position] = True
+            if end_list[position] > horizon:
+                busy[cell] = end_list[position]
+        self._q_time.extend(end_list)
+        self._q_src.extend(src_arr.tolist())
+        self._q_dst.extend(dst_arr.tolist())
+        self._q_contended.extend(contended)
+        self._q_kind.extend([kind] * count)
+        self._q_size.extend(sizes.tolist())
+        self._q_packet.extend([None] * count)
+        latest = now + jitter_s + float(airtime.max())
+        tick_s = self._tick_s
+        tick = (math.floor(latest / tick_s) + 1) * tick_s
+        if tick > self._flush_horizon:
+            self._flush_horizon = tick
+            self.sim.schedule_batch(tick - now, self._resolve_batch, ())
 
     # -- delivery ---------------------------------------------------------------
 
@@ -853,12 +985,16 @@ class BulkFluidTransport(FluidTransport):
             src = np.array(self._q_src, dtype=np.int64)
             dst = np.array(self._q_dst, dtype=np.int64)
             contended = np.array(self._q_contended, dtype=bool)
+            kind_list = self._q_kind
+            size_list = self._q_size
             packets = self._q_packet
             due_times = times
             self._q_time = []
             self._q_src = []
             self._q_dst = []
             self._q_contended = []
+            self._q_kind = []
+            self._q_size = []
             self._q_packet = []
         else:
             due_list = np.flatnonzero(due).tolist()
@@ -868,12 +1004,16 @@ class BulkFluidTransport(FluidTransport):
             contended = np.array(
                 [self._q_contended[i] for i in due_list], dtype=bool
             )
+            kind_list = [self._q_kind[i] for i in due_list]
+            size_list = [self._q_size[i] for i in due_list]
             packets = [self._q_packet[i] for i in due_list]
             due_times = times[due]
             self._q_time = [self._q_time[i] for i in keep_list]
             self._q_src = [self._q_src[i] for i in keep_list]
             self._q_dst = [self._q_dst[i] for i in keep_list]
             self._q_contended = [self._q_contended[i] for i in keep_list]
+            self._q_kind = [self._q_kind[i] for i in keep_list]
+            self._q_size = [self._q_size[i] for i in keep_list]
             self._q_packet = [self._q_packet[i] for i in keep_list]
         count = len(packets)
         # Deterministic resolution order: (delivery instant, seal order).
@@ -882,7 +1022,10 @@ class BulkFluidTransport(FluidTransport):
             src = src[order]
             dst = dst[order]
             contended = contended[order]
-            packets = [packets[i] for i in order.tolist()]
+            order_list = order.tolist()
+            kind_list = [kind_list[i] for i in order_list]
+            size_list = [size_list[i] for i in order_list]
+            packets = [packets[i] for i in order_list]
 
         # CSR fan-out expansion: one (frame, neighbor) pair per edge.
         indptr = self._indptr
@@ -908,8 +1051,8 @@ class BulkFluidTransport(FluidTransport):
         pair_broadcast = is_broadcast[frame_of]
         candidates = pair_broadcast | (recv == dst[frame_of])
         kinds: Dict[str, List[int]] = {}
-        for index, packet in enumerate(packets):
-            kinds.setdefault(packet.kind, []).append(index)
+        for index, frame_kind in enumerate(kind_list):
+            kinds.setdefault(frame_kind, []).append(index)
         kind_overhear = self._kind_overhear
         for kind, frame_ids in kinds.items():
             by_node = kind_overhear.get(kind)
@@ -968,11 +1111,7 @@ class BulkFluidTransport(FluidTransport):
         if addressed.any():
             rx_frame = surv_frame[addressed]
             rx_recv = surv_recv[addressed]
-            sizes = np.fromiter(
-                (packet.size_bytes for packet in packets),
-                dtype=np.float64,
-                count=count,
-            )
+            sizes = np.asarray(size_list, dtype=np.float64)
             record_rx_many = self.counters.record_rx_many
             for kind, frame_ids in kinds.items():
                 frame_mask = np.zeros(count, dtype=bool)
@@ -993,7 +1132,32 @@ class BulkFluidTransport(FluidTransport):
                         int(byte_sums[position]),
                     )
 
-        self._dispatch(surv_frame.tolist(), surv_recv.tolist(), packets)
+        # Frames of a kind with no registered handler and no matching
+        # listener have nobody to call: skip the per-pair dispatch pass
+        # for them (loss draws, stats, and rx accounting above already
+        # happened). Their Packet objects — queued as None by
+        # send_many — are materialized only if dispatch needs them.
+        if self._wild_count:
+            disp_frame, disp_recv = surv_frame, surv_recv
+        else:
+            wanted = np.zeros(count, dtype=bool)
+            handled = self._handled_kinds
+            for kind, frame_ids in kinds.items():
+                if kind in handled or kind_overhear.get(kind):
+                    wanted[frame_ids] = True
+            pair_wanted = wanted[surv_frame]
+            disp_frame = surv_frame[pair_wanted]
+            disp_recv = surv_recv[pair_wanted]
+        if disp_frame.size:
+            for frame in np.unique(disp_frame).tolist():
+                if packets[frame] is None:
+                    packets[frame] = Packet(
+                        src=int(src[frame]),
+                        dst=int(dst[frame]),
+                        kind=kind_list[frame],
+                        size_bytes=size_list[frame],
+                    )
+            self._dispatch(disp_frame.tolist(), disp_recv.tolist(), packets)
         self._ensure_resolvable()
         return count
 
@@ -1048,6 +1212,12 @@ class BulkFluidTransport(FluidTransport):
             self.sim.schedule_batch(tick - self.sim.now, self._resolve_batch, ())
 
     # -- receiving ----------------------------------------------------------------
+
+    def register_handler(self, node_id: int, kind: str, handler: PacketHandler) -> None:
+        super().register_handler(node_id, kind, handler)
+        # Grow-only: used to skip dispatch for kinds never handled, so a
+        # stale entry costs a redundant pass, never a missed delivery.
+        self._handled_kinds.add(kind)
 
     def register_overhear(
         self,

@@ -197,6 +197,23 @@ class NetworkStack:
         self._transmit(packet)
         return packet
 
+    def send_many(
+        self,
+        kind: str,
+        src: Sequence[int],
+        dst: Sequence[int],
+        size_bytes: Sequence[int],
+    ) -> None:
+        """Submit many pre-sized same-kind frames at the current instant:
+        one :meth:`send`/:meth:`broadcast` per row (row ``i`` broadcasts
+        when ``dst[i]`` is :data:`BROADCAST`). Part of the transport
+        seam; the bulk fluid backend vectorizes this."""
+        for row_src, row_dst, row_size in zip(src, dst, size_bytes):
+            if row_dst == BROADCAST:
+                self.broadcast(row_src, kind, None, size_bytes=row_size)
+            else:
+                self.send(row_src, row_dst, kind, None, size_bytes=row_size)
+
     def _transmit(self, packet: Packet) -> None:
         mac = self.macs.get(packet.src)
         if mac is None:

@@ -146,6 +146,25 @@ class Transport(Protocol):
         size_bytes: Optional[int] = None,
     ) -> Packet: ...
 
+    def send_many(
+        self,
+        kind: str,
+        src: Sequence[int],
+        dst: Sequence[int],
+        size_bytes: Sequence[int],
+    ) -> None:
+        """Submit many pre-sized, payload-free frames of one kind, all
+        keyed up at the current instant — row ``i`` is a frame from
+        ``src[i]`` to ``dst[i]`` (a local broadcast when ``dst[i]`` is
+        :data:`~repro.net.packet.BROADCAST`) of ``size_bytes[i]`` bytes.
+
+        Accounting-equivalent to one :meth:`send`/:meth:`broadcast` per
+        row; batched replay engines use it so a 100k-node frame replay
+        does not pay one Python round-trip per frame. Per-frame backends
+        implement it as exactly that loop; the bulk fluid backend seals
+        the whole batch vectorized."""
+        ...
+
     def flush(self) -> None:
         """Mark a burst boundary: every frame the caller just emitted
         belongs to one logical burst (a flood rebroadcast, one member's

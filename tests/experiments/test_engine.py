@@ -75,6 +75,21 @@ class TestSeedsAndKeys:
             spec_b, spec_b.cells[0]
         )
 
+    def test_cell_key_depends_on_backend_selection(self):
+        """The CLI lands non-default --share-backend/--clustering-backend
+        choices in the spec context; cached cells must not be shared
+        across backends."""
+        default = _spec(square_cell, 1)
+        keys = {cell_key(default, default.cells[0])}
+        for context in (
+            {"share_backend": "batched"},
+            {"clustering_backend": "batched"},
+            {"share_backend": "batched", "clustering_backend": "batched"},
+        ):
+            spec = _spec(square_cell, 1, context=context)
+            keys.add(cell_key(spec, spec.cells[0]))
+        assert len(keys) == 4
+
 
 class TestSerialExecution:
     def test_outcomes_in_cell_order(self):

@@ -132,6 +132,28 @@ class TestCli:
         assert "mean_degree" in out
         assert (tmp_path / "t1.json").exists()
 
+    def test_clustering_backend_flag_lands_in_cache_key(self, tmp_path, capsys):
+        """--clustering-backend batched must run green AND key its cached
+        cells apart from the scalar default (regression: a shared key
+        would let one backend's artifact satisfy the other's --resume)."""
+        assert main(["run", "T1", "--quick", "--out", str(tmp_path)]) == 0
+        cache = tmp_path / ".cellcache"
+        scalar_cells = set(cache.rglob("*.json"))
+        assert main(
+            [
+                "run",
+                "T1",
+                "--quick",
+                "--clustering-backend",
+                "batched",
+                "--out",
+                str(tmp_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        batched_cells = set(cache.rglob("*.json")) - scalar_cells
+        assert batched_cells  # fresh cells, not scalar-cache hits
+
     def test_run_all_executes_every_entry(
         self, tmp_path, capsys, monkeypatch
     ):

@@ -224,6 +224,21 @@ class LoopbackTransport:
         self._transmit(packet)
         return packet
 
+    def send_many(
+        self,
+        kind: str,
+        src: Sequence[int],
+        dst: Sequence[int],
+        size_bytes: Sequence[int],
+    ) -> None:
+        """Seam parity with the real backends: one send/broadcast per
+        row (row ``i`` broadcasts when ``dst[i]`` is BROADCAST)."""
+        for row_src, row_dst, row_size in zip(src, dst, size_bytes):
+            if row_dst == BROADCAST:
+                self.broadcast(row_src, kind, None, size_bytes=row_size)
+            else:
+                self.send(row_src, row_dst, kind, None, size_bytes=row_size)
+
     def _transmit(self, packet: Packet) -> None:
         if packet.src in self._dead:
             return  # dead radios key up nothing, uncounted
